@@ -1,0 +1,228 @@
+package geoloc
+
+// The benchmark harness regenerates every table and figure of the paper
+// (one Benchmark per artifact, per DESIGN.md §4) on a medium-scale world,
+// plus the ablation benches of DESIGN.md §6. Each figure benchmark measures
+// the cost of computing that experiment from prepared matrices; accuracy
+// metrics the paper reports are attached via b.ReportMetric so `go test
+// -bench` output doubles as a miniature reproduction table.
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"geoloc/internal/core"
+	"geoloc/internal/experiments"
+	"geoloc/internal/geo"
+	"geoloc/internal/stats"
+	"geoloc/internal/streetlevel"
+	"geoloc/internal/vpsel"
+	"geoloc/internal/world"
+)
+
+var (
+	benchOnce     sync.Once
+	benchCampaign *core.Campaign
+)
+
+// benchSetup prepares one shared medium-scale campaign for all benchmarks.
+func benchSetup(b *testing.B) *core.Campaign {
+	b.Helper()
+	benchOnce.Do(func() {
+		c := core.NewCampaign(world.MediumConfig())
+		c.BuildMatrices()
+		benchCampaign = c
+	})
+	return benchCampaign
+}
+
+// freshCtx wraps the shared campaign in an uncached experiment context so
+// each benchmark iteration performs the real computation.
+func freshCtx(b *testing.B) *experiments.Context {
+	return experiments.NewContextFromCampaign(benchSetup(b), experiments.QuickOptions())
+}
+
+// benchExperiment times one experiment function.
+func benchExperiment(b *testing.B, f func(*experiments.Context) *experiments.Report) {
+	benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := f(freshCtx(b))
+		if len(rep.Rows) == 0 {
+			b.Fatal("experiment produced no rows")
+		}
+	}
+}
+
+func BenchmarkTable1(b *testing.B)   { benchExperiment(b, experiments.Table1) }
+func BenchmarkTable2(b *testing.B)   { benchExperiment(b, experiments.Table2) }
+func BenchmarkFig2a(b *testing.B)    { benchExperiment(b, experiments.Fig2a) }
+func BenchmarkFig2b(b *testing.B)    { benchExperiment(b, experiments.Fig2b) }
+func BenchmarkFig2c(b *testing.B)    { benchExperiment(b, experiments.Fig2c) }
+func BenchmarkFig3a(b *testing.B)    { benchExperiment(b, experiments.Fig3a) }
+func BenchmarkFig3b(b *testing.B)    { benchExperiment(b, experiments.Fig3b) }
+func BenchmarkFig3c(b *testing.B)    { benchExperiment(b, experiments.Fig3c) }
+func BenchmarkFig4(b *testing.B)     { benchExperiment(b, experiments.Fig4) }
+func BenchmarkFig5a(b *testing.B)    { benchExperiment(b, experiments.Fig5a) }
+func BenchmarkFig5b(b *testing.B)    { benchExperiment(b, experiments.Fig5b) }
+func BenchmarkFig5c(b *testing.B)    { benchExperiment(b, experiments.Fig5c) }
+func BenchmarkFig6a(b *testing.B)    { benchExperiment(b, experiments.Fig6a) }
+func BenchmarkFig6b(b *testing.B)    { benchExperiment(b, experiments.Fig6b) }
+func BenchmarkFig6c(b *testing.B)    { benchExperiment(b, experiments.Fig6c) }
+func BenchmarkFig7(b *testing.B)     { benchExperiment(b, experiments.Fig7) }
+func BenchmarkFig8(b *testing.B)     { benchExperiment(b, experiments.Fig8) }
+func BenchmarkBaseline(b *testing.B) { benchExperiment(b, experiments.Baseline) }
+
+// BenchmarkCBGLocate measures the core CBG primitive: locating one target
+// from the full vantage-point matrix.
+func BenchmarkCBGLocate(b *testing.B) {
+	c := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ti := i % len(c.Targets)
+		if _, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); !ok {
+			b.Fatal("empty region")
+		}
+	}
+}
+
+// BenchmarkStreetLevelGeolocate measures one full three-tier run.
+func BenchmarkStreetLevelGeolocate(b *testing.B) {
+	c := benchSetup(b)
+	pipe := streetlevel.New(c)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pipe.Geolocate(i % len(c.Targets))
+	}
+}
+
+// BenchmarkPing measures the simulator's measurement primitive.
+func BenchmarkPing(b *testing.B) {
+	c := benchSetup(b)
+	src := c.VPs[0]
+	dst := c.Targets[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Sim.Ping(src, dst, uint64(i))
+	}
+}
+
+// BenchmarkAblationRegionFiltering compares CBG centroid computation with
+// redundant-circle filtering (the fast path used everywhere) against the
+// naive all-circles region (DESIGN.md §6).
+func BenchmarkAblationRegionFiltering(b *testing.B) {
+	c := benchSetup(b)
+	b.Run("filtered", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			c.TargetRTT.LocateSubset(i%len(c.Targets), nil, geo.TwoThirdsC)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			ti := i % len(c.Targets)
+			var region geo.Region
+			for vp := range c.TargetRTT.RTT {
+				rtt := float64(c.TargetRTT.RTT[vp][ti])
+				if math.IsNaN(rtt) {
+					continue
+				}
+				region.Add(geo.Circle{
+					Center:   c.TargetRTT.VPs[vp],
+					RadiusKm: geo.RTTToDistanceKm(rtt, geo.TwoThirdsC),
+				})
+			}
+			region.Centroid()
+		}
+	})
+}
+
+// BenchmarkAblationSOI compares tier-1 CBG accuracy at the two
+// speed-of-Internet constants the replicated papers use (DESIGN.md §6).
+func BenchmarkAblationSOI(b *testing.B) {
+	c := benchSetup(b)
+	rows := c.AnchorVPIndices()
+	for _, tc := range []struct {
+		name  string
+		speed float64
+	}{
+		{"two-thirds-c", geo.TwoThirdsC},
+		{"four-ninths-c", geo.FourNinthsC},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var errs []float64
+			for i := 0; i < b.N; i++ {
+				ti := i % len(c.Targets)
+				if est, ok := c.TargetRTT.LocateSubset(ti, rows, tc.speed); ok {
+					errs = append(errs, c.ErrorKm(ti, est))
+				}
+			}
+			if len(errs) > 0 {
+				b.ReportMetric(stats.MustMedian(errs), "medianErrKm")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationGreedyVsRandom compares the two-step algorithm's greedy
+// Earth-covering first step against a random first step (DESIGN.md §6).
+func BenchmarkAblationGreedyVsRandom(b *testing.B) {
+	c := benchSetup(b)
+	locs := make([]geo.Point, len(c.VPs))
+	meta := make([]vpsel.VPMeta, len(c.VPs))
+	for i, h := range c.VPs {
+		locs[i] = h.Reported
+		meta[i] = vpsel.VPMeta{AS: h.AS, City: h.City}
+	}
+	greedy := vpsel.GreedyCover(locs, 10)
+	random := make([]int, 10)
+	for i := range random {
+		random[i] = (i * 997) % len(c.VPs)
+	}
+	for _, tc := range []struct {
+		name      string
+		firstStep []int
+	}{
+		{"greedy", greedy},
+		{"random", random},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			var errs []float64
+			for i := 0; i < b.N; i++ {
+				ti := i % len(c.Targets)
+				res, ok := vpsel.TwoStepSelect(c.RepRTT, meta, tc.firstStep, ti)
+				if !ok {
+					continue
+				}
+				if est, ok := c.TargetRTT.LocateSubset(ti, []int{res.SelectedVP}, geo.TwoThirdsC); ok {
+					errs = append(errs, c.ErrorKm(ti, est))
+				}
+			}
+			if len(errs) > 0 {
+				b.ReportMetric(stats.MustMedian(errs), "medianErrKm")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationDelayAgg compares the papers' min-over-VPs landmark
+// delay aggregation against a median aggregation (DESIGN.md §6).
+func BenchmarkAblationDelayAgg(b *testing.B) {
+	c := benchSetup(b)
+	for _, agg := range []string{"min", "median"} {
+		b.Run(agg, func(b *testing.B) {
+			cfg := streetlevel.DefaultConfig()
+			cfg.DelayAggregation = agg
+			pipe := streetlevel.NewWithConfig(c, cfg)
+			var errs []float64
+			for i := 0; i < b.N; i++ {
+				ti := i % len(c.Targets)
+				res := pipe.Geolocate(ti)
+				errs = append(errs, geo.Distance(res.Estimate, c.Targets[ti].Loc))
+			}
+			if len(errs) > 0 {
+				b.ReportMetric(stats.MustMedian(errs), "medianErrKm")
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"geoloc/internal/core"
+	"geoloc/internal/geo"
+	"geoloc/internal/stats"
+	"geoloc/internal/world"
+)
+
+func main() {
+	if len(os.Args) > 1 && os.Args[1] == "street" {
+		streetCalib()
+		return
+	}
+	for _, name := range []string{"medium", "full"} {
+		var cfg world.Config
+		if name == "medium" {
+			cfg = world.MediumConfig()
+		} else {
+			cfg = world.DefaultConfig()
+		}
+		t0 := time.Now()
+		c := core.NewCampaign(cfg)
+		t1 := time.Now()
+		c.BuildTargetMatrix()
+		t2 := time.Now()
+		fmt.Printf("== %s: campaign %.1fs, target matrix %.1fs (VPs=%d targets=%d)\n",
+			name, t1.Sub(t0).Seconds(), t2.Sub(t1).Seconds(), len(c.VPs), len(c.Targets))
+
+		var errs []float64
+		perCont := map[world.Continent][]float64{}
+		var closestVP []float64
+		fails := 0
+		for ti := range c.Targets {
+			est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC)
+			if !ok {
+				fails++
+				continue
+			}
+			e := c.ErrorKm(ti, est)
+			errs = append(errs, e)
+			perCont[c.TargetContinent(ti)] = append(perCont[c.TargetContinent(ti)], e)
+			// closest VP true distance
+			best := 1e18
+			for _, vp := range c.VPs {
+				if vp.ID == c.Targets[ti].ID {
+					continue
+				}
+				if d := geo.Distance(vp.Loc, c.Targets[ti].Loc); d < best {
+					best = d
+				}
+			}
+			closestVP = append(closestVP, best)
+		}
+		t3 := time.Now()
+		med := stats.MustMedian(errs)
+		fmt.Printf("  CBG all VPs: median=%.1f km, <=1km %.0f%%, <=10km %.0f%%, <=40km %.0f%%, <=100km %.0f%%, fails=%d (locate %.1fs)\n",
+			med, 100*stats.FractionBelow(errs, 1), 100*stats.FractionBelow(errs, 10),
+			100*stats.FractionBelow(errs, 40), 100*stats.FractionBelow(errs, 100), fails, t3.Sub(t2).Seconds())
+		fmt.Printf("  closest VP dist: median=%.1f km, <=40km %.0f%%\n",
+			stats.MustMedian(closestVP), 100*stats.FractionBelow(closestVP, 40))
+		for _, ct := range world.AllContinents {
+			if len(perCont[ct]) == 0 {
+				continue
+			}
+			fmt.Printf("    %s (n=%d): median=%.1f <=40km %.0f%%\n", ct, len(perCont[ct]),
+				stats.MustMedian(perCont[ct]), 100*stats.FractionBelow(perCont[ct], 40))
+		}
+		// Fig 2c: remove VPs closer than 40 km from each target.
+		var errsNoClose []float64
+		var errsClosest1 []float64
+		for ti := range c.Targets {
+			var far []int
+			for vpIdx, vp := range c.VPs {
+				if vp.ID == c.Targets[ti].ID {
+					continue
+				}
+				if geo.Distance(vp.Loc, c.Targets[ti].Loc) > 40 {
+					far = append(far, vpIdx)
+				}
+			}
+			if est, ok := c.TargetRTT.LocateSubset(ti, far, geo.TwoThirdsC); ok {
+				errsNoClose = append(errsNoClose, c.ErrorKm(ti, est))
+			}
+			one := c.TargetRTT.ClosestVPs(ti, 1)
+			if est, ok := c.TargetRTT.LocateSubset(ti, one, geo.TwoThirdsC); ok {
+				errsClosest1 = append(errsClosest1, c.ErrorKm(ti, est))
+			}
+		}
+		fmt.Printf("  VPs>40km only: median=%.1f km, <=40km %.0f%% (paper: 120 km, 6%%)\n",
+			stats.MustMedian(errsNoClose), 100*stats.FractionBelow(errsNoClose, 40))
+		fmt.Printf("  closest-1 VP: <=10km %.0f%% vs all %.0f%% (paper: 62%% vs 52%%)\n",
+			100*stats.FractionBelow(errsClosest1, 10), 100*stats.FractionBelow(errs, 10))
+	}
+}

@@ -1,0 +1,146 @@
+package main
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"time"
+
+	"geoloc/internal/core"
+	"geoloc/internal/geo"
+	"geoloc/internal/stats"
+	"geoloc/internal/streetlevel"
+	"geoloc/internal/world"
+)
+
+func streetCalib() {
+	cfg := world.DefaultConfig()
+	c := core.NewCampaign(cfg)
+	c.BuildTargetMatrix()
+	pipe := streetlevel.New(c)
+
+	t0 := time.Now()
+	results := make([]streetlevel.Result, len(c.Targets))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for ti := range c.Targets {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(ti int) {
+			defer wg.Done()
+			results[ti] = pipe.Geolocate(ti)
+			<-sem
+		}(ti)
+	}
+	wg.Wait()
+	fmt.Printf("street level over %d targets in %.1fs\n", len(c.Targets), time.Since(t0).Seconds())
+
+	var slErr, cbgErr, oracleErr, negFrac, times, queries, nLandmarks, corr []float64
+	var close1, close5, close10, close40, lat1, lat5, lat10, lat40 int
+	noLandmark, fallbackSpeed := 0, 0
+	totalTests, totalPassed := 0, 0
+	for ti, res := range results {
+		truth := c.Targets[ti].Loc
+		slErr = append(slErr, geo.Distance(res.Estimate, truth))
+		cbgErr = append(cbgErr, geo.Distance(res.Tier1, truth))
+		if est, ok := streetlevel.ClosestLandmark(res, truth); ok {
+			oracleErr = append(oracleErr, geo.Distance(est, truth))
+		} else {
+			oracleErr = append(oracleErr, geo.Distance(res.Tier1, truth))
+			noLandmark++
+		}
+		if res.UsedFallbackSpeed {
+			fallbackSpeed++
+		}
+		negFrac = append(negFrac, res.NegativeDelayFrac)
+		times = append(times, res.TimeSeconds)
+		queries = append(queries, float64(res.MappingQueries))
+		nLandmarks = append(nLandmarks, float64(len(res.Landmarks)))
+		totalTests += res.WebsiteTests
+		totalPassed += len(res.Landmarks)
+
+		// landmark proximity + latency checks
+		var d1, d5, d10, d40, l1, l5, l10, l40 bool
+		var geoD, measD []float64
+		for _, lm := range res.Landmarks {
+			d := geo.Distance(lm.Site.POILoc, truth)
+			if d <= 1 {
+				d1 = true
+			}
+			if d <= 5 {
+				d5 = true
+			}
+			if d <= 10 {
+				d10 = true
+			}
+			if d <= 40 {
+				d40 = true
+				if pipe.LatencyCheck(ti, lm) {
+					l40 = true
+					if d <= 1 {
+						l1 = true
+					}
+					if d <= 5 {
+						l5 = true
+					}
+					if d <= 10 {
+						l10 = true
+					}
+				}
+			}
+			if lm.Usable {
+				geoD = append(geoD, d)
+				measD = append(measD, geo.RTTToDistanceKm(lm.DelayMs, geo.FourNinthsC))
+			}
+		}
+		if r, err := stats.Pearson(measD, geoD); err == nil {
+			corr = append(corr, r)
+		}
+		if d1 {
+			close1++
+		}
+		if d5 {
+			close5++
+		}
+		if d10 {
+			close10++
+		}
+		if d40 {
+			close40++
+		}
+		if l1 {
+			lat1++
+		}
+		if l5 {
+			lat5++
+		}
+		if l10 {
+			lat10++
+		}
+		if l40 {
+			lat40++
+		}
+	}
+	n := float64(len(results))
+	fmt.Printf("Fig5a: street median=%.1f km, CBG(anchors) median=%.1f, oracle median=%.1f (paper: 28 / 29 / lower)\n",
+		stats.MustMedian(slErr), stats.MustMedian(cbgErr), stats.MustMedian(oracleErr))
+	fmt.Printf("  no-landmark targets=%d (paper 46), fallback-speed=%d (paper 5)\n", noLandmark, fallbackSpeed)
+	fmt.Printf("Fig5b: <=1km %.0f%% (28) <=5km %.0f%% (58) <=10km %.0f%% (64) <=40km %.0f%% (76)\n",
+		100*float64(close1)/n, 100*float64(close5)/n, 100*float64(close10)/n, 100*float64(close40)/n)
+	fmt.Printf("   lat: <=1km %.0f%% (17) <=5km %.0f%% (49) <=10km %.0f%% (59) <=40km %.0f%% (72)\n",
+		100*float64(lat1)/n, 100*float64(lat5)/n, 100*float64(lat10)/n, 100*float64(lat40)/n)
+	fmt.Printf("landmarks/target median=%.0f (paper 111); tests=%d passed=%d rate=%.2f%% (paper 2.5%%)\n",
+		stats.MustMedian(nLandmarks), totalTests, totalPassed, 100*float64(totalPassed)/math.Max(1, float64(totalTests)))
+	fmt.Printf("mapping queries/target median=%.0f (paper 878)\n", stats.MustMedian(queries))
+	fmt.Printf("negative D1+D2 frac: p50=%.2f (paper 0.28)\n", stats.MustMedian(negFrac))
+	if len(corr) > 0 {
+		fmt.Printf("Pearson measured-vs-geo dist: median=%.2f (paper 0.08) n=%d\n", stats.MustMedian(corr), len(corr))
+	}
+	fmt.Printf("time/target: median=%.0fs (paper 1238s), p90=%.0fs\n", stats.MustMedian(times), quantile(times, 0.9))
+}
+
+func quantile(v []float64, q float64) float64 {
+	x, _ := stats.Quantile(v, q)
+	return x
+}

@@ -1,0 +1,97 @@
+// Command experiments reproduces the paper's tables and figures and writes
+// the reports to stdout and (optionally) a results directory.
+//
+// Usage:
+//
+//	experiments [-scale paper] [-run fig5a] [-trials 100] [-out results]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+
+	"geoloc/internal/experiments"
+	"geoloc/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("experiments: ")
+	scale := flag.String("scale", "paper", "campaign scale: tiny, medium, or paper")
+	run := flag.String("run", "", "run only this experiment ID (default: all)")
+	trials := flag.Int("trials", 0, "random-subset trials for Fig 2a/2b (0 = library default; the paper uses 100)")
+	out := flag.String("out", "", "directory to write per-experiment report files")
+	flag.Parse()
+
+	var cfg world.Config
+	switch *scale {
+	case "tiny":
+		cfg = world.TinyConfig()
+	case "medium":
+		cfg = world.MediumConfig()
+	case "paper":
+		cfg = world.DefaultConfig()
+	default:
+		log.Fatalf("unknown scale %q", *scale)
+	}
+
+	opts := experiments.DefaultOptions()
+	if *trials > 0 {
+		opts.Fig2Trials = *trials
+	}
+
+	start := time.Now()
+	log.Printf("preparing %s-scale campaign (sanitize + matrices)...", *scale)
+	ctx := experiments.NewContext(cfg, opts)
+	log.Printf("campaign ready in %.1fs; running experiments", time.Since(start).Seconds())
+
+	if *out != "" {
+		if err := os.MkdirAll(*out, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	found := false
+	for _, e := range experiments.Registry() {
+		if *run != "" && e.ID != *run {
+			continue
+		}
+		found = true
+		t0 := time.Now()
+		rep := e.Run(ctx)
+		log.Printf("%s computed in %.1fs", e.ID, time.Since(t0).Seconds())
+		text := rep.Render()
+		fmt.Println(text)
+		if *out != "" {
+			path := filepath.Join(*out, rep.ID+".txt")
+			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
+				log.Fatal(err)
+			}
+			if err := os.WriteFile(filepath.Join(*out, rep.ID+".csv"), []byte(rep.CSV()), 0o644); err != nil {
+				log.Fatal(err)
+			}
+		}
+	}
+	if !found {
+		log.Fatalf("unknown experiment %q", *run)
+	}
+	if *out != "" && *run == "" {
+		// The per-target baseline dataset the paper calls for (§7.1).
+		f, err := os.Create(filepath.Join(*out, "baseline_dataset.csv"))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := experiments.WriteBaselineDataset(ctx, f); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("baseline dataset written to %s", filepath.Join(*out, "baseline_dataset.csv"))
+	}
+	log.Printf("done in %.1fs", time.Since(start).Seconds())
+}

@@ -1,0 +1,60 @@
+// Geodatabases: compare CBG with all vantage points against the simulated
+// MaxMind-free and IPinfo databases, reproducing the Fig 7 ordering and the
+// explanation IPinfo gave the authors (§6).
+//
+//	go run ./examples/geodatabases
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"geoloc"
+	"geoloc/internal/experiments"
+	"geoloc/internal/geo"
+	"geoloc/internal/geodb"
+	"geoloc/internal/stats"
+	"geoloc/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	sys := geoloc.NewSystemFromConfig(world.MediumConfig(), experiments.QuickOptions())
+	c := sys.Campaign()
+
+	mm := &geodb.MaxMindFree{W: c.W}
+	ii := geodb.NewIPinfo(c.W)
+	iiLatencyOnly := &geodb.IPinfo{W: c.W, HintCoverage: 0}
+
+	var cbgErrs, mmErrs, iiErrs, iiLat []float64
+	sources := map[string]int{}
+	for ti := range c.Targets {
+		truth := c.Targets[ti].Loc
+		if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
+			cbgErrs = append(cbgErrs, geo.Distance(est, truth))
+		}
+		mmErrs = append(mmErrs, geo.Distance(mm.Lookup(c.Targets[ti]).Loc, truth))
+		entry := ii.Lookup(c.Targets[ti])
+		sources[entry.Source]++
+		iiErrs = append(iiErrs, geo.Distance(entry.Loc, truth))
+		iiLat = append(iiLat, geo.Distance(iiLatencyOnly.Lookup(c.Targets[ti]).Loc, truth))
+	}
+
+	row := func(name string, errs []float64) {
+		fmt.Printf("%-22s median %7.1f km   ≤40 km %3.0f%%   ≤137 km %3.0f%%\n",
+			name, stats.MustMedian(errs),
+			100*stats.FractionBelow(errs, 40), 100*stats.FractionBelow(errs, 137))
+	}
+	fmt.Printf("geolocating %d targets:\n\n", len(c.Targets))
+	row("CBG (all VPs)", cbgErrs)
+	row(mm.Name(), mmErrs)
+	row(ii.Name(), iiErrs)
+	row("IPinfo latency only", iiLat)
+
+	fmt.Println("\nIPinfo pipeline attribution (the §6 demystification):")
+	for src, n := range sources {
+		fmt.Printf("  %-10s %d targets\n", src, n)
+	}
+	fmt.Println("\npaper: IPinfo (89% ≤40 km) > CBG all VPs (73%) > MaxMind free (55%);")
+	fmt.Println("latency measurements alone give IPinfo only ~20% ≤42 km — hints do the rest.")
+}

@@ -1,0 +1,3 @@
+module geoloc
+
+go 1.22

@@ -1,0 +1,141 @@
+// Package asclass models the two AS-classification datasets the paper uses
+// to characterize its vantage points and targets (§4.4.1, Table 2): the
+// CAIDA AS classification (business type) and ASDB (industry category).
+package asclass
+
+import "fmt"
+
+// Category is a CAIDA-style AS business type.
+type Category int
+
+// The CAIDA AS classification categories used in Table 2 of the paper.
+const (
+	Content Category = iota
+	Access
+	TransitAccess
+	Enterprise
+	Tier1
+	Unknown
+	numCategories
+)
+
+// Categories lists every category in Table 2 column order.
+var Categories = []Category{Content, Access, TransitAccess, Enterprise, Tier1, Unknown}
+
+// String implements fmt.Stringer with the paper's column labels.
+func (c Category) String() string {
+	switch c {
+	case Content:
+		return "Content"
+	case Access:
+		return "Access"
+	case TransitAccess:
+		return "Transit/Access"
+	case Enterprise:
+		return "Enterprise"
+	case Tier1:
+		return "Tier-1"
+	case Unknown:
+		return "Unknown"
+	default:
+		return fmt.Sprintf("Category(%d)", int(c))
+	}
+}
+
+// Valid reports whether c is one of the defined categories.
+func (c Category) Valid() bool { return c >= Content && c < numCategories }
+
+// AnchorWeights is the AS-category mix of RIPE Atlas anchors measured in the
+// paper (Table 2, "Anchors" row). Used by the world generator so the
+// replication's Table 2 reproduces the published composition.
+var AnchorWeights = map[Category]float64{
+	Content:       0.317,
+	Access:        0.292,
+	TransitAccess: 0.272,
+	Enterprise:    0.076,
+	Tier1:         0.008,
+	Unknown:       0.035,
+}
+
+// ProbeWeights is the AS-category mix of RIPE Atlas probes (Table 2,
+// "Probes" row).
+var ProbeWeights = map[Category]float64{
+	Content:       0.092,
+	Access:        0.752,
+	TransitAccess: 0.083,
+	Enterprise:    0.034,
+	Tier1:         0.014,
+	Unknown:       0.026,
+}
+
+// ASDBCategories are the industry categories (ASDB-style) with the shares
+// the paper reports for its targets: 72% "Computer and Information
+// Technology", 5% "R&E", the remaining 14 categories below 5% each.
+var ASDBCategories = []string{
+	"Computer and Information Technology",
+	"Research and Education",
+	"Finance and Insurance",
+	"Media, Publishing, and Broadcasting",
+	"Retail and E-commerce",
+	"Government and Public Administration",
+	"Health Care and Social Assistance",
+	"Manufacturing",
+	"Utilities",
+	"Travel and Accommodation",
+	"Construction and Real Estate",
+	"Agriculture, Mining, and Refineries",
+	"Education",
+	"Community Groups and Nonprofits",
+	"Freight, Shipment, and Postal Services",
+	"Other",
+}
+
+// ASDBWeights gives the target-population share of each ASDB category, index
+// aligned with ASDBCategories.
+var ASDBWeights = []float64{
+	0.72, 0.05, 0.03, 0.03, 0.03, 0.02, 0.02, 0.02,
+	0.015, 0.015, 0.01, 0.01, 0.01, 0.01, 0.01, 0.01,
+}
+
+// Tally counts category occurrences and renders Table 2 style rows.
+type Tally struct {
+	Counts map[Category]int
+	Total  int
+}
+
+// NewTally returns an empty tally.
+func NewTally() *Tally {
+	return &Tally{Counts: make(map[Category]int)}
+}
+
+// Add records one AS (or host homed in an AS) of the given category.
+func (t *Tally) Add(c Category) {
+	t.Counts[c]++
+	t.Total++
+}
+
+// Fraction returns the share of category c, 0 when the tally is empty.
+func (t *Tally) Fraction(c Category) float64 {
+	if t.Total == 0 {
+		return 0
+	}
+	return float64(t.Counts[c]) / float64(t.Total)
+}
+
+// Merge adds another tally's counts into t.
+func (t *Tally) Merge(other *Tally) {
+	for c, n := range other.Counts {
+		t.Counts[c] += n
+		t.Total += n
+	}
+}
+
+// Row renders the tally as a Table 2 style line: "count (pct%)" per
+// category in Categories order.
+func (t *Tally) Row() []string {
+	out := make([]string, len(Categories))
+	for i, c := range Categories {
+		out[i] = fmt.Sprintf("%d (%.1f%%)", t.Counts[c], 100*t.Fraction(c))
+	}
+	return out
+}

@@ -1,0 +1,119 @@
+package asclass
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCategoryStrings(t *testing.T) {
+	want := map[Category]string{
+		Content:       "Content",
+		Access:        "Access",
+		TransitAccess: "Transit/Access",
+		Enterprise:    "Enterprise",
+		Tier1:         "Tier-1",
+		Unknown:       "Unknown",
+	}
+	for c, s := range want {
+		if c.String() != s {
+			t.Errorf("%d.String() = %q, want %q", int(c), c.String(), s)
+		}
+	}
+	if Category(99).String() != "Category(99)" {
+		t.Errorf("out-of-range String = %q", Category(99).String())
+	}
+}
+
+func TestCategoryValid(t *testing.T) {
+	for _, c := range Categories {
+		if !c.Valid() {
+			t.Errorf("%v should be valid", c)
+		}
+	}
+	if Category(-1).Valid() || Category(100).Valid() {
+		t.Error("out-of-range categories should be invalid")
+	}
+}
+
+func TestWeightsSumToOne(t *testing.T) {
+	for name, w := range map[string]map[Category]float64{
+		"anchor": AnchorWeights, "probe": ProbeWeights,
+	} {
+		var sum float64
+		for _, v := range w {
+			sum += v
+		}
+		if math.Abs(sum-1) > 0.01 {
+			t.Errorf("%s weights sum to %.4f", name, sum)
+		}
+	}
+}
+
+func TestWeightsCoverAllCategories(t *testing.T) {
+	for _, c := range Categories {
+		if _, ok := AnchorWeights[c]; !ok {
+			t.Errorf("AnchorWeights missing %v", c)
+		}
+		if _, ok := ProbeWeights[c]; !ok {
+			t.Errorf("ProbeWeights missing %v", c)
+		}
+	}
+}
+
+func TestASDBWeightsAligned(t *testing.T) {
+	if len(ASDBCategories) != len(ASDBWeights) {
+		t.Fatalf("ASDB categories (%d) and weights (%d) misaligned",
+			len(ASDBCategories), len(ASDBWeights))
+	}
+	var sum float64
+	for _, w := range ASDBWeights {
+		sum += w
+	}
+	if math.Abs(sum-1) > 0.02 {
+		t.Errorf("ASDB weights sum to %.4f", sum)
+	}
+	if ASDBWeights[0] < 0.7 {
+		t.Error("Computer and Information Technology should dominate (72% in the paper)")
+	}
+}
+
+func TestTally(t *testing.T) {
+	ta := NewTally()
+	ta.Add(Access)
+	ta.Add(Access)
+	ta.Add(Content)
+	ta.Add(Tier1)
+	if ta.Total != 4 {
+		t.Errorf("Total = %d", ta.Total)
+	}
+	if f := ta.Fraction(Access); f != 0.5 {
+		t.Errorf("Fraction(Access) = %v", f)
+	}
+	if f := ta.Fraction(Unknown); f != 0 {
+		t.Errorf("Fraction(Unknown) = %v", f)
+	}
+	row := ta.Row()
+	if len(row) != len(Categories) {
+		t.Fatalf("Row has %d cells", len(row))
+	}
+	if row[1] != "2 (50.0%)" {
+		t.Errorf("Access cell = %q", row[1])
+	}
+}
+
+func TestTallyEmptyFraction(t *testing.T) {
+	if f := NewTally().Fraction(Access); f != 0 {
+		t.Errorf("empty tally fraction = %v", f)
+	}
+}
+
+func TestTallyMerge(t *testing.T) {
+	a, b := NewTally(), NewTally()
+	a.Add(Access)
+	b.Add(Access)
+	b.Add(Content)
+	a.Merge(b)
+	if a.Total != 3 || a.Counts[Access] != 2 || a.Counts[Content] != 1 {
+		t.Errorf("merged tally = %+v", a)
+	}
+}

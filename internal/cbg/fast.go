@@ -1,0 +1,163 @@
+package cbg
+
+import (
+	"math"
+	"sort"
+
+	"geoloc/internal/geo"
+)
+
+// Matrix is a dense vantage-point × target RTT matrix, the working format
+// of the subset experiments (Fig 2a–2c probe 10k VPs against 723 targets
+// hundreds of times; building geo.Region values per trial would dominate
+// the runtime). RTTs are float32 milliseconds; NaN marks unresponsive
+// measurements.
+type Matrix struct {
+	// VPs holds the (reported) vantage point locations.
+	VPs []geo.Point
+	// RTT is indexed [vp][target].
+	RTT [][]float32
+}
+
+// Unresponsive is the sentinel for failed measurements in a Matrix.
+var Unresponsive = float32(math.NaN())
+
+// NewMatrix allocates a matrix for the given vantage points and target
+// count, initialized to Unresponsive.
+func NewMatrix(vps []geo.Point, targets int) *Matrix {
+	m := &Matrix{VPs: vps, RTT: make([][]float32, len(vps))}
+	for i := range m.RTT {
+		row := make([]float32, targets)
+		for j := range row {
+			row[j] = Unresponsive
+		}
+		m.RTT[i] = row
+	}
+	return m
+}
+
+// LocateSubset runs CBG for one target using only the vantage points listed
+// in subset (indices into the matrix; nil means all). It avoids building a
+// Region: it finds the tightest disk, drops redundant constraints, and
+// samples the survivors. The returned bool is false when no VP responded or
+// the intersection is empty.
+func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (geo.Point, bool) {
+	// Pass 1: tightest constraint.
+	tightIdx, tightRadius := -1, math.Inf(1)
+	eachVP(m, subset, func(vp int) {
+		rtt := m.RTT[vp][target]
+		if isUnresponsive(rtt) {
+			return
+		}
+		r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)
+		if r < tightRadius {
+			tightIdx, tightRadius = vp, r
+		}
+	})
+	if tightIdx < 0 {
+		return geo.Point{}, false
+	}
+	tight := geo.Circle{Center: m.VPs[tightIdx], RadiusKm: tightRadius}
+
+	// Pass 2: keep only constraints that can cut the tightest disk.
+	kept := make([]geo.Circle, 0, 16)
+	eachVP(m, subset, func(vp int) {
+		if vp == tightIdx {
+			return
+		}
+		rtt := m.RTT[vp][target]
+		if isUnresponsive(rtt) {
+			return
+		}
+		c := geo.Circle{Center: m.VPs[vp], RadiusKm: geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)}
+		if !c.ContainsCircle(tight) {
+			kept = append(kept, c)
+		}
+	})
+
+	// In dense deployments thousands of circles survive the containment
+	// filter, but the lens is shaped by its tightest constraints: beyond
+	// the few dozen smallest radii the remaining circles cut nothing the
+	// smaller ones have not already cut. Capping the constraint set keeps
+	// the centroid sampling O(1) per locate, which matters when the subset
+	// experiments run hundreds of thousands of locates.
+	const maxConstraints = 64
+	if len(kept) > maxConstraints {
+		sort.Slice(kept, func(i, j int) bool { return kept[i].RadiusKm < kept[j].RadiusKm })
+		kept = kept[:maxConstraints]
+	}
+
+	r := geo.Region{Circles: append(kept, tight)}
+	return r.Centroid()
+}
+
+// ShortestPingSubset maps the target to the subset VP with the lowest RTT.
+func (m *Matrix) ShortestPingSubset(target int, subset []int) (geo.Point, bool) {
+	best, bestRTT := -1, float32(math.Inf(1))
+	eachVP(m, subset, func(vp int) {
+		rtt := m.RTT[vp][target]
+		if isUnresponsive(rtt) {
+			return
+		}
+		if rtt < bestRTT {
+			best, bestRTT = vp, rtt
+		}
+	})
+	if best < 0 {
+		return geo.Point{}, false
+	}
+	return m.VPs[best], true
+}
+
+// ClosestVPs returns the indices of the k responsive vantage points with
+// the lowest RTT to the target, ascending by RTT. Fewer than k are returned
+// when the target has fewer responsive VPs.
+func (m *Matrix) ClosestVPs(target, k int) []int {
+	type cand struct {
+		vp  int
+		rtt float32
+	}
+	// Simple selection keeps the k best in a small sorted slice; k is ≤ 10
+	// in every use (the VP selection algorithm's subsets).
+	best := make([]cand, 0, k+1)
+	for vp := range m.RTT {
+		rtt := m.RTT[vp][target]
+		if isUnresponsive(rtt) {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && best[pos-1].rtt > rtt {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		best = append(best, cand{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = cand{vp: vp, rtt: rtt}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.vp
+	}
+	return out
+}
+
+func eachVP(m *Matrix, subset []int, f func(vp int)) {
+	if subset == nil {
+		for vp := range m.RTT {
+			f(vp)
+		}
+		return
+	}
+	for _, vp := range subset {
+		f(vp)
+	}
+}
+
+func isUnresponsive(rtt float32) bool {
+	return rtt != rtt || rtt < 0 // NaN or negative
+}

@@ -1,0 +1,262 @@
+// Package core orchestrates a full replication campaign: generate (or
+// accept) a world, sanitize the platform's geolocation (§4.3), build the
+// hitlist of /24 representatives (§4.1.3), and run the bulk ping campaigns
+// that produce the vantage-point × target RTT matrices every experiment in
+// the paper consumes.
+//
+// The vantage-point set for the million scale replication is probes +
+// anchors (Table 2 of the paper); the target set is the sanitized anchors.
+// A target never serves as its own vantage point.
+package core
+
+import (
+	"runtime"
+	"sync"
+
+	"geoloc/internal/atlas"
+	"geoloc/internal/cbg"
+	"geoloc/internal/geo"
+	"geoloc/internal/hitlist"
+	"geoloc/internal/netsim"
+	"geoloc/internal/sanitize"
+	"geoloc/internal/world"
+)
+
+// Campaign bundles the artifacts of one measurement campaign.
+type Campaign struct {
+	W        *world.World
+	Sim      *netsim.Sim
+	Platform *atlas.Platform
+	Hitlist  *hitlist.Hitlist
+
+	// SanitizedAnchors / SanitizedProbes are the host IDs surviving §4.3;
+	// RemovedAnchors / RemovedProbes are the hosts the sanitizer dropped.
+	SanitizedAnchors []int
+	SanitizedProbes  []int
+	RemovedAnchors   []int
+	RemovedProbes    []int
+
+	// Targets are the sanitized anchors (the paper's 723).
+	Targets []*world.Host
+	// VPs are the sanitized probes followed by the sanitized anchors — the
+	// "probes + anchors" vantage-point set of Table 2.
+	VPs []*world.Host
+
+	// TargetRTT is the [vp][target] matrix of ping RTTs to the targets.
+	TargetRTT *cbg.Matrix
+	// RepRTT is the [vp][target] matrix of median RTTs to each target's
+	// three /24 representatives (the VP-selection signal).
+	RepRTT *cbg.Matrix
+
+	// vpIndexByHost maps a host ID to its row in the matrices.
+	vpIndexByHost map[int]int
+}
+
+// Salt namespaces for the campaign's measurement randomness.
+const (
+	saltTargetPing uint64 = 0xCA09_0001
+	saltRepPing    uint64 = 0xCA09_0010 // +rep index
+)
+
+// NewCampaign generates a world from the config and prepares a campaign:
+// sanitization and hitlist construction run immediately; the RTT matrices
+// are built lazily by BuildMatrices (they are the expensive part).
+func NewCampaign(cfg world.Config) *Campaign {
+	return NewCampaignFromWorld(world.Generate(cfg))
+}
+
+// NewCampaignFromWorld wraps an existing world.
+func NewCampaignFromWorld(w *world.World) *Campaign {
+	sim := netsim.New(w)
+	p := atlas.New(w, sim)
+	c := &Campaign{W: w, Sim: sim, Platform: p}
+
+	aRes := sanitize.Anchors(p, w.Anchors)
+	pRes := sanitize.Probes(p, w.Probes, aRes.Kept)
+	c.SanitizedAnchors = aRes.Kept
+	c.RemovedAnchors = aRes.Removed
+	c.SanitizedProbes = pRes.Kept
+	c.RemovedProbes = pRes.Removed
+
+	c.Hitlist = hitlist.Build(w)
+
+	c.Targets = make([]*world.Host, len(c.SanitizedAnchors))
+	for i, id := range c.SanitizedAnchors {
+		c.Targets[i] = w.Host(id)
+	}
+	vpIDs := append(append([]int{}, c.SanitizedProbes...), c.SanitizedAnchors...)
+	c.VPs = make([]*world.Host, len(vpIDs))
+	c.vpIndexByHost = make(map[int]int, len(vpIDs))
+	for i, id := range vpIDs {
+		c.VPs[i] = w.Host(id)
+		c.vpIndexByHost[id] = i
+	}
+	return c
+}
+
+// VPIndex returns the matrix row of a host ID, or -1 when the host is not a
+// vantage point.
+func (c *Campaign) VPIndex(hostID int) int {
+	if i, ok := c.vpIndexByHost[hostID]; ok {
+		return i
+	}
+	return -1
+}
+
+// ProbeVPIndices returns the matrix rows corresponding to probes only
+// (excluding the anchors appended at the end of the VP list).
+func (c *Campaign) ProbeVPIndices() []int {
+	out := make([]int, len(c.SanitizedProbes))
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// AnchorVPIndices returns the matrix rows corresponding to anchors — the
+// street level replication's vantage-point set (§4.2.1).
+func (c *Campaign) AnchorVPIndices() []int {
+	out := make([]int, len(c.SanitizedAnchors))
+	for i := range out {
+		out[i] = len(c.SanitizedProbes) + i
+	}
+	return out
+}
+
+// BuildMatrices runs the two bulk ping campaigns in parallel: every VP
+// pings every target, and every VP pings each target's representatives.
+// Jitter is keyed by (source, destination, salt), so the matrices are
+// identical regardless of scheduling.
+func (c *Campaign) BuildMatrices() {
+	c.BuildTargetMatrix()
+	c.BuildRepMatrix()
+}
+
+// BuildTargetMatrix fills TargetRTT (idempotent).
+func (c *Campaign) BuildTargetMatrix() {
+	if c.TargetRTT != nil {
+		return
+	}
+	locs := vpLocations(c.VPs)
+	m := cbg.NewMatrix(locs, len(c.Targets))
+	c.parallelRows(func(vp int) {
+		src := c.VPs[vp]
+		for t, dst := range c.Targets {
+			if src.ID == dst.ID {
+				continue // a target is never its own vantage point
+			}
+			if rtt, ok := c.Platform.Ping(src, dst, saltTargetPing); ok {
+				m.RTT[vp][t] = float32(rtt)
+			}
+		}
+	})
+	c.TargetRTT = m
+}
+
+// BuildRepMatrix fills RepRTT (idempotent): for each (VP, target) it pings
+// the target's three representatives and records the median of the
+// responsive RTTs.
+func (c *Campaign) BuildRepMatrix() {
+	if c.RepRTT != nil {
+		return
+	}
+	locs := vpLocations(c.VPs)
+	m := cbg.NewMatrix(locs, len(c.Targets))
+	reps := make([][]*world.Host, len(c.Targets))
+	for t, target := range c.Targets {
+		ids := c.Hitlist.Reps(target.ID)
+		reps[t] = make([]*world.Host, len(ids))
+		for i, id := range ids {
+			reps[t][i] = c.W.Host(id)
+		}
+	}
+	c.parallelRows(func(vp int) {
+		src := c.VPs[vp]
+		var rtts [3]float64
+		for t := range c.Targets {
+			if src.ID == c.Targets[t].ID {
+				continue
+			}
+			n := 0
+			for r, rep := range reps[t] {
+				if rtt, ok := c.Platform.Ping(src, rep, saltRepPing+uint64(r)); ok {
+					rtts[n] = rtt
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			m.RTT[vp][t] = float32(median3(rtts[:n]))
+		}
+	})
+	c.RepRTT = m
+}
+
+// parallelRows runs f over every VP row using all CPUs.
+func (c *Campaign) parallelRows(f func(vp int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(c.VPs) {
+		workers = len(c.VPs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for vp := range next {
+				f(vp)
+			}
+		}()
+	}
+	for vp := range c.VPs {
+		next <- vp
+	}
+	close(next)
+	wg.Wait()
+}
+
+func vpLocations(vps []*world.Host) []geo.Point {
+	locs := make([]geo.Point, len(vps))
+	for i, h := range vps {
+		locs[i] = h.Reported
+	}
+	return locs
+}
+
+// median3 returns the median of up to three values (n in 1..3).
+func median3(v []float64) float64 {
+	switch len(v) {
+	case 1:
+		return v[0]
+	case 2:
+		return (v[0] + v[1]) / 2
+	default:
+		a, b, c := v[0], v[1], v[2]
+		if a > b {
+			a, b = b, a
+		}
+		if b > c {
+			b = c
+		}
+		if a > b {
+			b = a
+		}
+		return b
+	}
+}
+
+// ErrorKm returns the geolocation error of an estimate for target index t,
+// measured against the target's true location.
+func (c *Campaign) ErrorKm(t int, est geo.Point) float64 {
+	return geo.Distance(c.Targets[t].Loc, est)
+}
+
+// TargetContinent returns the continent of target index t.
+func (c *Campaign) TargetContinent(t int) world.Continent {
+	return c.W.CityOf(c.Targets[t]).Continent
+}

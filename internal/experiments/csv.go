@@ -1,0 +1,32 @@
+package experiments
+
+import (
+	"strings"
+)
+
+// CSV renders the report as RFC-4180 CSV (header row first), for plotting
+// the reproduced figures with external tools.
+func (r *Report) CSV() string {
+	var b strings.Builder
+	writeCSVRow(&b, r.Header)
+	for _, row := range r.Rows {
+		writeCSVRow(&b, row)
+	}
+	return b.String()
+}
+
+func writeCSVRow(b *strings.Builder, cells []string) {
+	for i, cell := range cells {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		if strings.ContainsAny(cell, ",\"\n") {
+			b.WriteByte('"')
+			b.WriteString(strings.ReplaceAll(cell, `"`, `""`))
+			b.WriteByte('"')
+		} else {
+			b.WriteString(cell)
+		}
+	}
+	b.WriteByte('\n')
+}

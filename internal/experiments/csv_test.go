@@ -1,0 +1,28 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCSVBasic(t *testing.T) {
+	r := &Report{
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"x,y", `q"u`}},
+	}
+	got := r.CSV()
+	want := "a,b\n1,2\n\"x,y\",\"q\"\"u\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}
+
+func TestCSVAllReportsParseable(t *testing.T) {
+	for _, r := range All(testCtx) {
+		out := r.CSV()
+		lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+		if len(lines) != 1+len(r.Rows) {
+			t.Errorf("report %s: CSV has %d lines, want %d", r.ID, len(lines), 1+len(r.Rows))
+		}
+	}
+}

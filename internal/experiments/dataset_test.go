@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteBaselineDataset(t *testing.T) {
+	var b strings.Builder
+	if err := WriteBaselineDataset(testCtx, &b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(lines) != 1+len(testCtx.C.Targets) {
+		t.Fatalf("dataset has %d lines, want %d", len(lines), 1+len(testCtx.C.Targets))
+	}
+	header := strings.Split(lines[0], ",")
+	if len(header) != 17 {
+		t.Fatalf("header has %d columns: %v", len(header), header)
+	}
+	for i, line := range lines[1:] {
+		cols := strings.Split(line, ",")
+		if len(cols) != 17 {
+			t.Fatalf("row %d has %d columns", i, len(cols))
+		}
+		if cols[16] != "landmark" && cols[16] != "cbg" {
+			t.Fatalf("row %d has method %q", i, cols[16])
+		}
+	}
+}
+
+func TestWriteBaselineDatasetDeterministic(t *testing.T) {
+	var a, b strings.Builder
+	if err := WriteBaselineDataset(testCtx, &a); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteBaselineDataset(testCtx, &b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("baseline dataset not deterministic")
+	}
+}

@@ -1,0 +1,247 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5, §6, appendix C) against a simulated campaign. Each
+// experiment returns a Report: a text-renderable table of the same rows or
+// series the paper plots, so the replication's shape can be compared
+// against the published one (see EXPERIMENTS.md).
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+
+	"geoloc/internal/core"
+	"geoloc/internal/stats"
+	"geoloc/internal/streetlevel"
+	"geoloc/internal/world"
+)
+
+// Report is the output of one experiment.
+type Report struct {
+	// ID is the experiment identifier (e.g. "fig2a"); PaperRef points at
+	// the corresponding artifact in the paper.
+	ID       string
+	Title    string
+	PaperRef string
+	// Header and Rows form the result table.
+	Header []string
+	Rows   [][]string
+	// Notes carries free-form observations (fallback counts etc.).
+	Notes []string
+}
+
+// Render formats the report as an aligned text table.
+func (r *Report) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s — %s (%s)\n", r.ID, r.Title, r.PaperRef)
+	widths := make([]int, len(r.Header))
+	for i, h := range r.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range r.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	line(r.Header)
+	for _, row := range r.Rows {
+		line(row)
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Options scales the experiments.
+type Options struct {
+	// Fig2Trials is the number of random-subset trials per size (the paper
+	// uses 100; smaller values keep tests fast).
+	Fig2Trials int
+	// Fig2Sizes are the subset sizes swept in Fig 2a.
+	Fig2Sizes []int
+	// Seed offsets subset sampling.
+	Seed uint64
+}
+
+// DefaultOptions returns paper-scale options. The paper runs 100 trials
+// per subset size in Fig 2a/2b; the default here is 25 — enough for stable
+// medians — because the sweep is the costliest experiment by far. Use
+// `cmd/experiments -trials 100` to match the paper exactly.
+func DefaultOptions() Options {
+	return Options{
+		Fig2Trials: 25,
+		Fig2Sizes:  []int{10, 20, 50, 100, 200, 500, 1000, 2000, 5000, 10000},
+		Seed:       1,
+	}
+}
+
+// QuickOptions returns reduced options for tests and benchmarks.
+func QuickOptions() Options {
+	return Options{
+		Fig2Trials: 8,
+		Fig2Sizes:  []int{10, 50, 200, 1000},
+		Seed:       1,
+	}
+}
+
+// Context holds a prepared campaign and caches expensive intermediate
+// results (notably the full street-level run) shared by several figures.
+type Context struct {
+	C    *core.Campaign
+	SL   *streetlevel.Pipeline
+	Opts Options
+
+	slOnce    sync.Once
+	slResults []streetlevel.Result
+
+	twoStepOnce sync.Once
+	twoStep     *twoStepRun
+
+	allOnce    sync.Once
+	allReports []*Report
+}
+
+// NewContext builds a campaign from the config and prepares the matrices.
+func NewContext(cfg world.Config, opts Options) *Context {
+	c := core.NewCampaign(cfg)
+	c.BuildMatrices()
+	return &Context{C: c, SL: streetlevel.New(c), Opts: opts}
+}
+
+// NewContextFromCampaign wraps an existing campaign (matrices must be
+// built).
+func NewContextFromCampaign(c *core.Campaign, opts Options) *Context {
+	return &Context{C: c, SL: streetlevel.New(c), Opts: opts}
+}
+
+// StreetResults runs (once) the full street-level pipeline over every
+// target, in parallel.
+func (ctx *Context) StreetResults() []streetlevel.Result {
+	ctx.slOnce.Do(func() {
+		n := len(ctx.C.Targets)
+		ctx.slResults = make([]streetlevel.Result, n)
+		parallelFor(n, func(ti int) {
+			ctx.slResults[ti] = ctx.SL.Geolocate(ti)
+		})
+	})
+	return ctx.slResults
+}
+
+// parallelFor runs f(0..n-1) across all CPUs.
+func parallelFor(n int, f func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	var wg sync.WaitGroup
+	next := make(chan int, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				f(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+}
+
+// cdfThresholdsKm are the error marks every CDF row reports.
+var cdfThresholdsKm = []float64{1, 5, 10, 40, 100, 300, 1000}
+
+// cdfHeader returns the standard CDF table header.
+func cdfHeader(label string) []string {
+	h := []string{label, "n", "median(km)"}
+	for _, t := range cdfThresholdsKm {
+		h = append(h, fmt.Sprintf("<=%.0fkm", t))
+	}
+	return h
+}
+
+// cdfRow renders one error sample as a CDF table row.
+func cdfRow(label string, errs []float64) []string {
+	row := []string{label, fmt.Sprintf("%d", len(errs))}
+	if len(errs) == 0 {
+		return append(row, "-")
+	}
+	row = append(row, fmt.Sprintf("%.1f", stats.MustMedian(errs)))
+	for _, t := range cdfThresholdsKm {
+		row = append(row, fmt.Sprintf("%.0f%%", 100*stats.FractionBelow(errs, t)))
+	}
+	return row
+}
+
+// sortedCopy returns a sorted copy of v.
+func sortedCopy(v []float64) []float64 {
+	s := append([]float64(nil), v...)
+	sort.Float64s(s)
+	return s
+}
+
+// Experiment pairs an experiment ID with its runner.
+type Experiment struct {
+	ID  string
+	Run func(*Context) *Report
+}
+
+// Registry lists every experiment in canonical order. Callers wanting
+// incremental output iterate it directly; All computes and caches the lot.
+func Registry() []Experiment {
+	return []Experiment{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"fig2a", Fig2a},
+		{"fig2b", Fig2b},
+		{"fig2c", Fig2c},
+		{"fig3a", Fig3a},
+		{"fig3b", Fig3b},
+		{"fig3c", Fig3c},
+		{"fig4", Fig4},
+		{"fig5a", Fig5a},
+		{"fig5b", Fig5b},
+		{"fig5c", Fig5c},
+		{"fig6a", Fig6a},
+		{"fig6b", Fig6b},
+		{"fig6c", Fig6c},
+		{"fig7", Fig7},
+		{"fig8", Fig8},
+		{"baseline", Baseline},
+		{"deploy", Deploy},
+		{"multistep", MultiStep},
+		{"shortestping", ShortestPing},
+		{"ablations", Ablations},
+	}
+}
+
+// All runs every experiment at the context's options, in a stable order.
+// The reports are computed once per context and cached.
+func All(ctx *Context) []*Report {
+	ctx.allOnce.Do(func() {
+		for _, e := range Registry() {
+			ctx.allReports = append(ctx.allReports, e.Run(ctx))
+		}
+	})
+	return ctx.allReports
+}

@@ -1,0 +1,236 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"geoloc/internal/rhash"
+	"geoloc/internal/world"
+)
+
+// testCtx is a shared tiny-world context for the package tests.
+var testCtx = NewContext(world.TinyConfig(), QuickOptions())
+
+func TestAllExperimentsProduceReports(t *testing.T) {
+	reports := All(testCtx)
+	if len(reports) != 22 {
+		t.Fatalf("All produced %d reports, want 22", len(reports))
+	}
+	seen := make(map[string]bool)
+	for _, r := range reports {
+		if r.ID == "" || r.Title == "" || r.PaperRef == "" {
+			t.Errorf("report %q missing metadata", r.ID)
+		}
+		if seen[r.ID] {
+			t.Errorf("duplicate report ID %q", r.ID)
+		}
+		seen[r.ID] = true
+		if len(r.Rows) == 0 {
+			t.Errorf("report %q has no rows", r.ID)
+		}
+		out := r.Render()
+		if !strings.Contains(out, r.ID) {
+			t.Errorf("report %q render missing its ID", r.ID)
+		}
+	}
+}
+
+func TestTable1Counts(t *testing.T) {
+	r := Table1(testCtx)
+	cfg := world.TinyConfig()
+	want := 0
+	for _, n := range cfg.AnchorsPerContinent {
+		want += n
+	}
+	if r.Rows[0][1] != itoa(want) {
+		t.Errorf("targets row = %q, want %d", r.Rows[0][1], want)
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var digits []byte
+	for n > 0 {
+		digits = append([]byte{byte('0' + n%10)}, digits...)
+		n /= 10
+	}
+	return string(digits)
+}
+
+func TestTable2RowsSumToTotals(t *testing.T) {
+	r := Table2(testCtx)
+	if len(r.Rows) != 3 {
+		t.Fatalf("Table2 has %d rows", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		if len(row) != 7 { // dataset + 6 categories
+			t.Fatalf("Table2 row has %d cells", len(row))
+		}
+	}
+}
+
+func TestFig2aMonotonicImprovement(t *testing.T) {
+	r := Fig2a(testCtx)
+	if len(r.Rows) < 2 {
+		t.Fatal("Fig2a needs at least two sizes")
+	}
+	// Median error with the largest subset must beat the smallest.
+	first := parseFloat(t, r.Rows[0][4])
+	last := parseFloat(t, r.Rows[len(r.Rows)-1][4])
+	if last >= first {
+		t.Errorf("more VPs should reduce median error: %v -> %v", first, last)
+	}
+}
+
+func parseFloat(t *testing.T, s string) float64 {
+	t.Helper()
+	var v float64
+	if _, err := fmt.Sscan(s, &v); err != nil {
+		t.Fatalf("parse %q: %v", s, err)
+	}
+	return v
+}
+
+func TestFig2cRemovingCloseVPsHurts(t *testing.T) {
+	r := Fig2c(testCtx)
+	all := parseFloat(t, r.Rows[0][2])
+	no40 := parseFloat(t, r.Rows[1][2])
+	if no40 <= all {
+		t.Errorf("removing close VPs should raise median error: %v -> %v", all, no40)
+	}
+}
+
+func TestFig3cOverheadDecreases(t *testing.T) {
+	r := Fig3c(testCtx)
+	if len(r.Rows) < 2 {
+		t.Fatal("Fig3c needs rows")
+	}
+	lastRow := r.Rows[len(r.Rows)-1]
+	if lastRow[0] != "All" {
+		t.Fatal("last row should be the original algorithm")
+	}
+}
+
+func TestFig5aHasThreeTechniques(t *testing.T) {
+	r := Fig5a(testCtx)
+	if len(r.Rows) != 3 {
+		t.Fatalf("Fig5a has %d rows", len(r.Rows))
+	}
+	// The oracle must (weakly) beat the street level technique at median.
+	street := parseFloat(t, r.Rows[0][2])
+	oracle := parseFloat(t, r.Rows[2][2])
+	if oracle > street+1e-9 {
+		t.Errorf("oracle median %.1f should not exceed street median %.1f", oracle, street)
+	}
+}
+
+func TestFig5bCheckedSubset(t *testing.T) {
+	r := Fig5b(testCtx)
+	if len(r.Rows) != 4 {
+		t.Fatalf("Fig5b has %d rows", len(r.Rows))
+	}
+	// Latency-checked counts can never exceed the optimistic counts.
+	for _, row := range r.Rows {
+		plain := parseLeadingInt(t, row[1])
+		checked := parseLeadingInt(t, row[2])
+		if checked > plain {
+			t.Errorf("checked %d > plain %d for %s", checked, plain, row[0])
+		}
+	}
+}
+
+func parseLeadingInt(t *testing.T, s string) int {
+	t.Helper()
+	n := 0
+	seen := false
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			n = n*10 + int(r-'0')
+			seen = true
+		} else if seen {
+			break
+		}
+	}
+	return n
+}
+
+func TestFig6aFractionsInRange(t *testing.T) {
+	r := Fig6a(testCtx)
+	for _, row := range r.Rows {
+		v := parseFloat(t, row[1])
+		if v < 0 || v > 1 {
+			t.Errorf("unusable fraction %v out of range", v)
+		}
+	}
+}
+
+func TestFig6cTimesPositive(t *testing.T) {
+	r := Fig6c(testCtx)
+	prev := 0.0
+	for _, row := range r.Rows {
+		v := parseFloat(t, row[1])
+		if v < prev {
+			t.Errorf("quantiles should be non-decreasing: %v after %v", v, prev)
+		}
+		prev = v
+	}
+	if prev <= 0 {
+		t.Error("p99 time should be positive")
+	}
+}
+
+func TestFig7Ordering(t *testing.T) {
+	r := Fig7(testCtx)
+	if len(r.Rows) != 3 {
+		t.Fatalf("Fig7 has %d rows", len(r.Rows))
+	}
+}
+
+func TestBaselineHasPaperColumn(t *testing.T) {
+	r := Baseline(testCtx)
+	for _, row := range r.Rows {
+		if len(row) != 3 {
+			t.Fatalf("baseline row %v should have 3 cells", row)
+		}
+	}
+}
+
+func TestRandomSubsetProperties(t *testing.T) {
+	st := rhash.New(99)
+	for _, size := range []int{0, 1, 5, 50} {
+		sub := randomSubset(st, 50, size)
+		if size <= 50 && len(sub) != size {
+			t.Fatalf("subset size %d, want %d", len(sub), size)
+		}
+		seen := make(map[int]bool)
+		for _, v := range sub {
+			if v < 0 || v >= 50 || seen[v] {
+				t.Fatalf("invalid subset %v", sub)
+			}
+			seen[v] = true
+		}
+	}
+	if len(randomSubset(st, 5, 10)) != 5 {
+		t.Error("oversized request should return all indices")
+	}
+}
+
+func TestReportRenderAligned(t *testing.T) {
+	r := &Report{
+		ID: "x", Title: "T", PaperRef: "ref",
+		Header: []string{"a", "bb"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"hello"},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "note: hello") {
+		t.Error("render missing note")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 { // title + header + 2 rows + note
+		t.Errorf("render has %d lines, want 5", len(lines))
+	}
+}

@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDeployReport(t *testing.T) {
+	r := Deploy(testCtx)
+	if len(r.Rows) != 3 {
+		t.Fatalf("deploy has %d rows", len(r.Rows))
+	}
+	// Probes must be dramatically slower than the 2012 deployment: that is
+	// the §5.1.3 result.
+	paperMonths := monthsOf(t, r.Rows[0][2])
+	probeMonths := monthsOf(t, r.Rows[2][2])
+	if probeMonths < 10*paperMonths {
+		t.Errorf("probe campaign (%.1f months) should dwarf the 2012 one (%.1f months)",
+			probeMonths, paperMonths)
+	}
+	anchorMonths := monthsOf(t, r.Rows[1][2])
+	if anchorMonths >= probeMonths {
+		t.Error("anchors should be faster than probes")
+	}
+}
+
+func monthsOf(t *testing.T, s string) float64 {
+	t.Helper()
+	return parseFloat(t, strings.Fields(s)[0])
+}
+
+func TestMultiStepReport(t *testing.T) {
+	r := MultiStep(testCtx)
+	if len(r.Rows) == 0 {
+		t.Fatal("multistep produced no rows")
+	}
+	for _, row := range r.Rows {
+		if len(row) != 5 {
+			t.Fatalf("row %v has %d cells", row, len(row))
+		}
+		if err := parseFloat(t, row[1]); err < 0 {
+			t.Error("negative median error")
+		}
+	}
+}
+
+func TestShortestPingReport(t *testing.T) {
+	r := ShortestPing(testCtx)
+	if len(r.Rows) != 2 {
+		t.Fatalf("shortestping has %d rows", len(r.Rows))
+	}
+	cbgMed := parseFloat(t, r.Rows[0][2])
+	spMed := parseFloat(t, r.Rows[1][2])
+	// The paper treats the techniques as similar; they must be within an
+	// order of magnitude of each other.
+	if cbgMed > 10*spMed+10 || spMed > 10*cbgMed+10 {
+		t.Errorf("CBG (%.1f) and shortest ping (%.1f) too far apart", cbgMed, spMed)
+	}
+}
+
+func TestAblationsReport(t *testing.T) {
+	r := Ablations(testCtx)
+	if len(r.Rows) < 4 {
+		t.Fatalf("ablations has %d rows, want ≥4 (two speeds + two first steps)", len(r.Rows))
+	}
+	names := map[string]bool{}
+	for _, row := range r.Rows {
+		names[row[0]] = true
+	}
+	if !names["tier-1 speed of Internet"] || !names["two-step first step"] {
+		t.Errorf("ablation families missing: %v", names)
+	}
+}

@@ -1,0 +1,97 @@
+package geodb
+
+import (
+	"testing"
+
+	"geoloc/internal/geo"
+	"geoloc/internal/stats"
+	"geoloc/internal/world"
+)
+
+var tw = world.Generate(world.MediumConfig())
+
+func errorsOf(db DB) []float64 {
+	var errs []float64
+	for _, id := range tw.Anchors {
+		h := tw.Host(id)
+		e := db.Lookup(h)
+		errs = append(errs, geo.Distance(e.Loc, h.Loc))
+	}
+	return errs
+}
+
+func TestLookupDeterministic(t *testing.T) {
+	for _, db := range []DB{&MaxMindFree{W: tw}, NewIPinfo(tw)} {
+		h := tw.Host(tw.Anchors[0])
+		a, b := db.Lookup(h), db.Lookup(h)
+		if a != b {
+			t.Errorf("%s lookup not deterministic", db.Name())
+		}
+	}
+}
+
+func TestIPinfoBeatsMaxMind(t *testing.T) {
+	mm := errorsOf(&MaxMindFree{W: tw})
+	ii := errorsOf(NewIPinfo(tw))
+	mmCity := stats.FractionBelow(mm, 40)
+	iiCity := stats.FractionBelow(ii, 40)
+	if iiCity <= mmCity {
+		t.Errorf("IPinfo (%.2f at 40km) should beat MaxMind (%.2f): Fig 7 ordering", iiCity, mmCity)
+	}
+}
+
+func TestMaxMindCityShare(t *testing.T) {
+	mm := errorsOf(&MaxMindFree{W: tw})
+	share := stats.FractionBelow(mm, 40)
+	if share < 0.35 || share > 0.75 {
+		t.Errorf("MaxMind city-level share = %.2f, paper reports ~0.55", share)
+	}
+}
+
+func TestIPinfoCityShare(t *testing.T) {
+	ii := errorsOf(NewIPinfo(tw))
+	share := stats.FractionBelow(ii, 40)
+	if share < 0.75 || share > 0.97 {
+		t.Errorf("IPinfo city-level share = %.2f, paper reports ~0.89", share)
+	}
+}
+
+func TestIPinfoLatencyOnlyCurve(t *testing.T) {
+	// With hints disabled, the latency pipeline alone should roughly match
+	// the numbers IPinfo disclosed: ~20% ≤ 42 km and ~70% ≤ 137 km.
+	db := &IPinfo{W: tw, HintCoverage: 0}
+	errs := errorsOf(db)
+	at42 := stats.FractionBelow(errs, 42)
+	at137 := stats.FractionBelow(errs, 137)
+	if at42 < 0.08 || at42 > 0.40 {
+		t.Errorf("latency-only ≤42km = %.2f, want ~0.20", at42)
+	}
+	if at137 < 0.5 || at137 > 0.85 {
+		t.Errorf("latency-only ≤137km = %.2f, want ~0.70", at137)
+	}
+}
+
+func TestSourcesAttributed(t *testing.T) {
+	seenMM := map[string]bool{}
+	seenII := map[string]bool{}
+	mm := &MaxMindFree{W: tw}
+	ii := NewIPinfo(tw)
+	for _, id := range tw.Anchors {
+		seenMM[mm.Lookup(tw.Host(id)).Source] = true
+		seenII[ii.Lookup(tw.Host(id)).Source] = true
+	}
+	for _, s := range []string{"prefix-registration"} {
+		if !seenMM[s] {
+			t.Errorf("MaxMind never produced source %q", s)
+		}
+	}
+	if !seenII["hints"] {
+		t.Error("IPinfo never used hints")
+	}
+}
+
+func TestNames(t *testing.T) {
+	if (&MaxMindFree{}).Name() != "MaxMind (Free)" || (&IPinfo{}).Name() != "IPinfo" {
+		t.Error("database names wrong")
+	}
+}

@@ -1,0 +1,76 @@
+// Package hitlist reproduces the role of the ISI hitlist in the million
+// scale replication (§4.1.3): for every target /24 it selects the three
+// representative addresses with the highest responsiveness score, falling
+// back to random in-prefix addresses when the prefix has fewer than three
+// responsive candidates (8 targets at paper scale).
+package hitlist
+
+import (
+	"sort"
+
+	"geoloc/internal/world"
+)
+
+// ResponsiveThreshold is the minimum responsiveness score for an address to
+// count as a responsive hitlist entry.
+const ResponsiveThreshold = 0.5
+
+// Entry is one target's representative set.
+type Entry struct {
+	// TargetID is the anchor host ID the representatives stand in for.
+	TargetID int
+	// Reps are the representative host IDs, highest responsiveness first.
+	Reps []int
+	// PaddedWithRandom is true when the /24 had fewer than three responsive
+	// candidates and random in-prefix addresses fill the gap.
+	PaddedWithRandom bool
+}
+
+// Hitlist maps each target to its representatives.
+type Hitlist struct {
+	Entries map[int]Entry
+}
+
+// Build constructs the hitlist for every anchor in the world. The world's
+// representative hosts play the role of the ISI hitlist candidates; their
+// RespScore is the hitlist responsiveness score.
+func Build(w *world.World) *Hitlist {
+	h := &Hitlist{Entries: make(map[int]Entry, len(w.Anchors))}
+	for _, targetID := range w.Anchors {
+		reps := w.Reps[targetID]
+		ids := []int{reps[0], reps[1], reps[2]}
+		sort.Slice(ids, func(i, j int) bool {
+			return w.Host(ids[i]).RespScore > w.Host(ids[j]).RespScore
+		})
+		responsive := 0
+		for _, id := range ids {
+			if w.Host(id).RespScore >= ResponsiveThreshold {
+				responsive++
+			}
+		}
+		h.Entries[targetID] = Entry{
+			TargetID:         targetID,
+			Reps:             ids,
+			PaddedWithRandom: responsive < 3,
+		}
+	}
+	return h
+}
+
+// Reps returns the representative host IDs for a target, best first.
+func (h *Hitlist) Reps(targetID int) []int {
+	return h.Entries[targetID].Reps
+}
+
+// PaddedTargets returns the targets whose representative sets required
+// random in-prefix padding, sorted by target ID.
+func (h *Hitlist) PaddedTargets() []int {
+	var out []int
+	for id, e := range h.Entries {
+		if e.PaddedWithRandom {
+			out = append(out, id)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

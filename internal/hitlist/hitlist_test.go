@@ -1,0 +1,75 @@
+package hitlist
+
+import (
+	"testing"
+
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/world"
+)
+
+var tw = world.Generate(world.TinyConfig())
+
+func TestBuildCoversAllAnchors(t *testing.T) {
+	h := Build(tw)
+	if len(h.Entries) != len(tw.Anchors) {
+		t.Fatalf("entries = %d, want %d", len(h.Entries), len(tw.Anchors))
+	}
+	for _, id := range tw.Anchors {
+		if len(h.Reps(id)) != 3 {
+			t.Errorf("target %d has %d reps", id, len(h.Reps(id)))
+		}
+	}
+}
+
+func TestRepsSortedByResponsiveness(t *testing.T) {
+	h := Build(tw)
+	for _, id := range tw.Anchors {
+		reps := h.Reps(id)
+		for i := 1; i < len(reps); i++ {
+			if tw.Host(reps[i-1]).RespScore < tw.Host(reps[i]).RespScore {
+				t.Fatalf("target %d reps not sorted by responsiveness", id)
+			}
+		}
+	}
+}
+
+func TestRepsShareTargetPrefix(t *testing.T) {
+	h := Build(tw)
+	for _, id := range tw.Anchors {
+		a := tw.Host(id)
+		for _, rid := range h.Reps(id) {
+			if !ipaddr.SamePrefix24(a.Addr, tw.Host(rid).Addr) {
+				t.Fatalf("rep %d outside target %d's /24", rid, id)
+			}
+		}
+	}
+}
+
+func TestPaddedTargetsMatchSparseAnchors(t *testing.T) {
+	h := Build(tw)
+	padded := h.PaddedTargets()
+	if len(padded) != len(tw.SparseRepAnchors) {
+		t.Fatalf("padded = %d, want %d sparse anchors", len(padded), len(tw.SparseRepAnchors))
+	}
+	for _, id := range padded {
+		if !tw.SparseRepAnchors[id] {
+			t.Errorf("target %d padded but not sparse in world", id)
+		}
+		if !h.Entries[id].PaddedWithRandom {
+			t.Errorf("entry flag inconsistent for %d", id)
+		}
+	}
+}
+
+func TestBuildDeterministic(t *testing.T) {
+	h1 := Build(tw)
+	h2 := Build(tw)
+	for _, id := range tw.Anchors {
+		r1, r2 := h1.Reps(id), h2.Reps(id)
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("rep order differs for target %d", id)
+			}
+		}
+	}
+}

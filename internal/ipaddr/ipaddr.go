@@ -1,0 +1,99 @@
+// Package ipaddr provides a compact IPv4 address value type and the /24
+// prefix arithmetic that the million scale paper's vantage-point selection
+// algorithm depends on (representatives are chosen inside a target's /24).
+package ipaddr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Addr is an IPv4 address stored as a big-endian 32-bit integer.
+type Addr uint32
+
+// FromOctets assembles an address from four octets.
+func FromOctets(a, b, c, d byte) Addr {
+	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
+}
+
+// Parse parses dotted-quad notation ("192.0.2.7").
+func Parse(s string) (Addr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return 0, fmt.Errorf("ipaddr: %q is not dotted quad", s)
+	}
+	var out uint32
+	for _, p := range parts {
+		if p == "" || (len(p) > 1 && p[0] == '0') {
+			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+		}
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+		}
+		out = out<<8 | uint32(v)
+	}
+	return Addr(out), nil
+}
+
+// MustParse is Parse that panics on error; for tests and literals.
+func MustParse(s string) Addr {
+	a, err := Parse(s)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}
+
+// String renders the address in dotted-quad notation.
+func (a Addr) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+}
+
+// Octets returns the four octets of the address.
+func (a Addr) Octets() (byte, byte, byte, byte) {
+	return byte(a >> 24), byte(a >> 16), byte(a >> 8), byte(a)
+}
+
+// Prefix24 is a /24 network, identified by its 24 leading bits.
+type Prefix24 uint32
+
+// Prefix24Of returns the /24 containing the address.
+func Prefix24Of(a Addr) Prefix24 { return Prefix24(uint32(a) >> 8) }
+
+// Addr returns the host'th address inside the prefix (host in 0..255).
+func (p Prefix24) Addr(host byte) Addr { return Addr(uint32(p)<<8 | uint32(host)) }
+
+// Contains reports whether the address lies inside the prefix.
+func (p Prefix24) Contains(a Addr) bool { return Prefix24Of(a) == p }
+
+// String renders the prefix in CIDR notation ("192.0.2.0/24").
+func (p Prefix24) String() string { return p.Addr(0).String() + "/24" }
+
+// SamePrefix24 reports whether two addresses share a /24.
+func SamePrefix24(a, b Addr) bool { return Prefix24Of(a) == Prefix24Of(b) }
+
+// Allocator hands out non-overlapping /24 prefixes from the 10.0.0.0/8 and
+// 100.64.0.0/10 style private/shared planes used by the simulator's address
+// plan. It is not safe for concurrent use.
+type Allocator struct {
+	next uint32 // next /24 index
+}
+
+// NewAllocator returns an allocator starting at base 10.0.0.0/24.
+func NewAllocator() *Allocator {
+	return &Allocator{next: uint32(FromOctets(10, 0, 0, 0)) >> 8}
+}
+
+// NextPrefix returns a fresh /24 no previous call has returned.
+func (al *Allocator) NextPrefix() Prefix24 {
+	p := Prefix24(al.next)
+	al.next++
+	return p
+}
+
+// Allocated returns how many prefixes have been handed out.
+func (al *Allocator) Allocated() int {
+	return int(al.next - uint32(FromOctets(10, 0, 0, 0))>>8)
+}

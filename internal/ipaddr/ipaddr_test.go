@@ -1,0 +1,110 @@
+package ipaddr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestParseStringRoundTrip(t *testing.T) {
+	f := func(v uint32) bool {
+		a := Addr(v)
+		got, err := Parse(a.String())
+		return err == nil && got == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseValid(t *testing.T) {
+	cases := map[string]Addr{
+		"0.0.0.0":         0,
+		"255.255.255.255": 0xFFFFFFFF,
+		"192.0.2.7":       FromOctets(192, 0, 2, 7),
+		"10.1.2.3":        FromOctets(10, 1, 2, 3),
+	}
+	for s, want := range cases {
+		got, err := Parse(s)
+		if err != nil {
+			t.Errorf("Parse(%q) error: %v", s, err)
+			continue
+		}
+		if got != want {
+			t.Errorf("Parse(%q) = %v, want %v", s, got, want)
+		}
+	}
+}
+
+func TestParseInvalid(t *testing.T) {
+	for _, s := range []string{"", "1.2.3", "1.2.3.4.5", "256.1.1.1", "a.b.c.d", "01.2.3.4", "-1.2.3.4", "1..2.3"} {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) should fail", s)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on invalid input")
+		}
+	}()
+	MustParse("not-an-ip")
+}
+
+func TestOctets(t *testing.T) {
+	a, b, c, d := FromOctets(192, 168, 3, 44).Octets()
+	if a != 192 || b != 168 || c != 3 || d != 44 {
+		t.Errorf("Octets = %d.%d.%d.%d", a, b, c, d)
+	}
+}
+
+func TestPrefix24(t *testing.T) {
+	a := MustParse("192.0.2.77")
+	p := Prefix24Of(a)
+	if p.String() != "192.0.2.0/24" {
+		t.Errorf("prefix = %s", p)
+	}
+	if !p.Contains(a) {
+		t.Error("prefix should contain its member")
+	}
+	if p.Contains(MustParse("192.0.3.77")) {
+		t.Error("prefix should not contain neighbour /24")
+	}
+	if p.Addr(9) != MustParse("192.0.2.9") {
+		t.Errorf("Addr(9) = %v", p.Addr(9))
+	}
+}
+
+func TestSamePrefix24Property(t *testing.T) {
+	f := func(v uint32, h1, h2 byte) bool {
+		p := Prefix24(v >> 8)
+		return SamePrefix24(p.Addr(h1), p.Addr(h2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	al := NewAllocator()
+	seen := make(map[Prefix24]bool)
+	for i := 0; i < 5000; i++ {
+		p := al.NextPrefix()
+		if seen[p] {
+			t.Fatalf("duplicate prefix %s at %d", p, i)
+		}
+		seen[p] = true
+	}
+	if al.Allocated() != 5000 {
+		t.Errorf("Allocated = %d, want 5000", al.Allocated())
+	}
+}
+
+func TestAllocatorStartsAtTen(t *testing.T) {
+	al := NewAllocator()
+	p := al.NextPrefix()
+	if p.String() != "10.0.0.0/24" {
+		t.Errorf("first prefix = %s, want 10.0.0.0/24", p)
+	}
+}

@@ -1,0 +1,176 @@
+// Package mapping simulates the mapping services the street level
+// replication queries (§4.2.4): a Nominatim-like reverse geocoder (point →
+// postal code) and an Overpass-like amenity query (postal code → points of
+// interest with websites). The service counts queries and models the
+// ~8 queries/second rate limit the paper observed, which dominates the
+// technique's time to geolocate (§5.2.5).
+package mapping
+
+import (
+	"math"
+	"sync/atomic"
+
+	"geoloc/internal/geo"
+	"geoloc/internal/rhash"
+	"geoloc/internal/world"
+)
+
+// Place is a reverse-geocoding result.
+type Place struct {
+	CityID int
+	Zone   int
+	Zip    int
+}
+
+// POI is a point of interest returned by the amenity query.
+type POI struct {
+	// Key is the POI's stable identity; the website model derives all site
+	// attributes from it.
+	Key uint64
+	// Loc is the POI's physical location.
+	Loc geo.Point
+	// CityID and Zone locate the POI in the zoning grid; Zip is its postal
+	// code.
+	CityID int
+	Zone   int
+	Zip    int
+	// HasWebsite reports whether the amenity lists a website.
+	HasWebsite bool
+}
+
+// Service answers reverse-geocoding and POI queries over one world.
+// Queries are deterministic and counted; the service is safe for
+// concurrent use.
+type Service struct {
+	W *world.World
+
+	reverseGeocodes atomic.Int64
+	poiQueries      atomic.Int64
+
+	cells map[cellKey][]int // city IDs bucketed by 2-degree cell
+}
+
+type cellKey struct{ lat, lon int }
+
+func keyOf(p geo.Point) cellKey {
+	return cellKey{lat: int(math.Floor(p.Lat / 2)), lon: int(math.Floor(p.Lon / 2))}
+}
+
+// NewService builds a mapping service with a spatial index over the cities.
+func NewService(w *world.World) *Service {
+	s := &Service{W: w, cells: make(map[cellKey][]int)}
+	for _, c := range w.Cities {
+		s.cells[keyOf(c.Loc)] = append(s.cells[keyOf(c.Loc)], c.ID)
+	}
+	return s
+}
+
+// Stats returns the query counters (reverse geocodes, POI queries).
+func (s *Service) Stats() (int64, int64) {
+	return s.reverseGeocodes.Load(), s.poiQueries.Load()
+}
+
+// ResetStats zeroes the query counters.
+func (s *Service) ResetStats() {
+	s.reverseGeocodes.Store(0)
+	s.poiQueries.Store(0)
+}
+
+// ReverseGeocode maps a point to the postal code of the nearest city zone,
+// like Nominatim: every query returns something, however rural the point.
+func (s *Service) ReverseGeocode(p geo.Point) Place {
+	s.reverseGeocodes.Add(1)
+	city := s.nearestCity(p)
+	zone := city.ZoneOf(p)
+	return Place{CityID: city.ID, Zone: zone, Zip: city.Zip(zone)}
+}
+
+// nearestCity finds the closest city by expanding ring search over the
+// 2-degree buckets, falling back to a linear scan for remote points.
+func (s *Service) nearestCity(p geo.Point) *world.City {
+	base := keyOf(p)
+	bestID, bestD := -1, math.Inf(1)
+	for radius := 0; radius <= 4; radius++ {
+		for dl := -radius; dl <= radius; dl++ {
+			for dn := -radius; dn <= radius; dn++ {
+				if maxAbs(dl, dn) != radius {
+					continue // only the ring perimeter at this radius
+				}
+				for _, id := range s.cells[cellKey{base.lat + dl, base.lon + dn}] {
+					if d := geo.Distance(p, s.W.Cities[id].Loc); d < bestD {
+						bestID, bestD = id, d
+					}
+				}
+			}
+		}
+		// A hit whose distance is safely inside the searched ring is final.
+		if bestID >= 0 && bestD < float64(radius)*111 {
+			return &s.W.Cities[bestID]
+		}
+	}
+	if bestID >= 0 {
+		return &s.W.Cities[bestID]
+	}
+	for i := range s.W.Cities {
+		if d := geo.Distance(p, s.W.Cities[i].Loc); d < bestD {
+			bestID, bestD = i, d
+		}
+	}
+	return &s.W.Cities[bestID]
+}
+
+func maxAbs(a, b int) int {
+	if a < 0 {
+		a = -a
+	}
+	if b < 0 {
+		b = -b
+	}
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// POIsInZip returns every point of interest registered in the given city
+// zone (one Overpass query). POIs are generated deterministically from the
+// world seed, so repeated queries return identical results without the
+// world storing millions of POI records.
+func (s *Service) POIsInZip(cityID, zone int) []POI {
+	s.poiQueries.Add(1)
+	w := s.W
+	city := &w.Cities[cityID]
+	if zone < 0 || zone >= city.NumZones() {
+		return nil
+	}
+	cfg := w.Cfg
+
+	zonePop := city.Population / float64(city.NumZones())
+	st := rhash.New(cfg.Seed, rhash.HashString("poi"), uint64(cityID), uint64(zone))
+	n := cfg.POIBasePerZone + int(cfg.POIDensityPerKPop*zonePop/1000*st.Range(0.5, 1.5))
+	if n > cfg.MaxPOIsPerZone {
+		n = cfg.MaxPOIsPerZone
+	}
+	zoneCenter := city.ZoneCenter(zone)
+	zoneRadius := city.RadiusKm / (cityRingsApprox + 1)
+	if zoneRadius < 0.8 {
+		zoneRadius = 0.8
+	}
+	out := make([]POI, 0, n)
+	for i := 0; i < n; i++ {
+		loc := geo.Destination(zoneCenter, st.Range(0, 360), zoneRadius*math.Sqrt(st.Float64()))
+		out = append(out, POI{
+			Key:        rhash.Hash(cfg.Seed, rhash.HashString("poikey"), uint64(cityID), uint64(zone), uint64(i)),
+			Loc:        loc,
+			CityID:     cityID,
+			Zone:       zone,
+			Zip:        city.Zip(zone),
+			HasWebsite: st.Bool(cfg.POIWebsiteFrac),
+		})
+	}
+	return out
+}
+
+// cityRingsApprox mirrors the ring count of the world's zoning grid for
+// zone-radius estimation (the grid has 4 rings plus a centre).
+const cityRingsApprox = 4

@@ -1,0 +1,156 @@
+package mapping
+
+import (
+	"testing"
+
+	"geoloc/internal/geo"
+	"geoloc/internal/world"
+)
+
+var (
+	tw  = world.Generate(world.TinyConfig())
+	svc = NewService(tw)
+)
+
+func TestReverseGeocodeInsideCity(t *testing.T) {
+	for i := 0; i < len(tw.Cities); i += 5 {
+		c := &tw.Cities[i]
+		pl := svc.ReverseGeocode(c.Loc)
+		if pl.CityID != c.ID {
+			// Another city may genuinely be closer if centres overlap; only
+			// fail when the resolved city is farther than this one.
+			resolved := &tw.Cities[pl.CityID]
+			if geo.Distance(c.Loc, resolved.Loc) > 0 {
+				t.Errorf("city %d centre resolved to city %d", c.ID, pl.CityID)
+			}
+		}
+		if _, ok := c.ZipZone(pl.Zip); pl.CityID == c.ID && !ok {
+			t.Errorf("zip %d not valid for city %d", pl.Zip, c.ID)
+		}
+	}
+}
+
+func TestReverseGeocodeAlwaysAnswers(t *testing.T) {
+	// Mid-ocean point: Nominatim-style services still return the nearest
+	// populated place.
+	pl := svc.ReverseGeocode(geo.Point{Lat: 0, Lon: -30})
+	if pl.CityID < 0 || pl.CityID >= len(tw.Cities) {
+		t.Fatalf("invalid city %d", pl.CityID)
+	}
+}
+
+func TestReverseGeocodeCountsQueries(t *testing.T) {
+	s := NewService(tw)
+	s.ReverseGeocode(geo.Point{Lat: 48, Lon: 2})
+	s.ReverseGeocode(geo.Point{Lat: 40, Lon: -3})
+	rg, poi := s.Stats()
+	if rg != 2 || poi != 0 {
+		t.Errorf("stats = %d, %d", rg, poi)
+	}
+	s.ResetStats()
+	if rg, _ := s.Stats(); rg != 0 {
+		t.Error("reset failed")
+	}
+}
+
+func TestNearestCityIsActuallyNearest(t *testing.T) {
+	probes := []geo.Point{
+		{Lat: 50, Lon: 10}, {Lat: -20, Lon: 25}, {Lat: 40, Lon: -100},
+		{Lat: 35, Lon: 139}, {Lat: -33, Lon: -70},
+	}
+	for _, p := range probes {
+		got := svc.nearestCity(p)
+		best := 0
+		for i := range tw.Cities {
+			if geo.Distance(p, tw.Cities[i].Loc) < geo.Distance(p, tw.Cities[best].Loc) {
+				best = i
+			}
+		}
+		if got.ID != best {
+			t.Errorf("nearestCity(%v) = %d (%.0f km), want %d (%.0f km)", p,
+				got.ID, geo.Distance(p, got.Loc),
+				best, geo.Distance(p, tw.Cities[best].Loc))
+		}
+	}
+}
+
+func TestPOIsDeterministic(t *testing.T) {
+	a := svc.POIsInZip(0, 1)
+	b := svc.POIsInZip(0, 1)
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic POI count")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic POI")
+		}
+	}
+}
+
+func TestPOIsHaveCorrectZip(t *testing.T) {
+	city := &tw.Cities[1]
+	for zone := 0; zone < city.NumZones(); zone++ {
+		for _, poi := range svc.POIsInZip(city.ID, zone) {
+			if poi.Zip != city.Zip(zone) {
+				t.Fatalf("POI zip %d, want %d", poi.Zip, city.Zip(zone))
+			}
+			if poi.CityID != city.ID || poi.Zone != zone {
+				t.Fatal("POI zone identity wrong")
+			}
+		}
+	}
+}
+
+func TestPOIsScaleWithPopulation(t *testing.T) {
+	big, small := 0, 0
+	var bigCity, smallCity *world.City
+	for i := range tw.Cities {
+		c := &tw.Cities[i]
+		if bigCity == nil || c.Population > bigCity.Population {
+			bigCity = c
+		}
+		if smallCity == nil || c.Population < smallCity.Population {
+			smallCity = c
+		}
+	}
+	for zone := 0; zone < bigCity.NumZones(); zone++ {
+		big += len(svc.POIsInZip(bigCity.ID, zone))
+	}
+	for zone := 0; zone < smallCity.NumZones(); zone++ {
+		small += len(svc.POIsInZip(smallCity.ID, zone))
+	}
+	if big <= small {
+		t.Errorf("big city (%d POIs) should outnumber small city (%d POIs)", big, small)
+	}
+}
+
+func TestPOIsNearTheirZone(t *testing.T) {
+	city := &tw.Cities[0]
+	for zone := 0; zone < city.NumZones(); zone++ {
+		center := city.ZoneCenter(zone)
+		for _, poi := range svc.POIsInZip(city.ID, zone) {
+			if d := geo.Distance(poi.Loc, center); d > city.RadiusKm {
+				t.Fatalf("POI %.1f km from its zone centre", d)
+			}
+		}
+	}
+}
+
+func TestPOIsInvalidZone(t *testing.T) {
+	if pois := svc.POIsInZip(0, -1); pois != nil {
+		t.Error("negative zone should yield nil")
+	}
+	if pois := svc.POIsInZip(0, 999); pois != nil {
+		t.Error("out-of-range zone should yield nil")
+	}
+}
+
+func TestPOICapRespected(t *testing.T) {
+	for i := range tw.Cities {
+		for zone := 0; zone < tw.Cities[i].NumZones(); zone++ {
+			if n := len(svc.POIsInZip(i, zone)); n > tw.Cfg.MaxPOIsPerZone {
+				t.Fatalf("zone has %d POIs, cap is %d", n, tw.Cfg.MaxPOIsPerZone)
+			}
+		}
+	}
+}

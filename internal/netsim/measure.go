@@ -1,0 +1,107 @@
+package netsim
+
+import (
+	"geoloc/internal/rhash"
+	"geoloc/internal/world"
+)
+
+// Ping simulates one ping measurement (Cfg.PingPackets packets) from src to
+// dst and returns the minimum observed RTT in milliseconds. ok is false when
+// no packet was answered (the destination's responsiveness score governs
+// reply probability). salt distinguishes repeated measurements of the same
+// pair; reusing a salt reproduces the measurement exactly.
+func (s *Sim) Ping(src, dst *world.Host, salt uint64) (float64, bool) {
+	base := s.BaseRTTMs(src, dst)
+	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("ping"),
+		uint64(src.Addr), uint64(dst.Addr), salt)
+	best, any := 0.0, false
+	for p := 0; p < s.Cfg.PingPackets; p++ {
+		jitter := st.Exp(s.Cfg.PingJitterMeanMs)
+		answered := st.Bool(dst.RespScore)
+		if !answered {
+			continue
+		}
+		rtt := base + jitter
+		if !any || rtt < best {
+			best, any = rtt, true
+		}
+	}
+	return best, any
+}
+
+// TraceHop is one line of simulated traceroute output.
+type TraceHop struct {
+	RouterID uint64
+	ASID     int
+	// RTTMs is the measured round-trip time to this hop, including the ICMP
+	// generation jitter that makes hop RTTs noisy (appendix B of the paper).
+	RTTMs float64
+	// Responded is false for hops that dropped the probe (shown as '*').
+	Responded bool
+}
+
+// Trace is a simulated traceroute: the router hops followed by the
+// destination's response.
+type Trace struct {
+	Hops []TraceHop
+	// DstRTTMs is the RTT measured to the destination itself.
+	DstRTTMs float64
+	// DstResponded is false when the destination never answered.
+	DstResponded bool
+}
+
+// Traceroute simulates a traceroute from src to dst. Hop RTTs carry ICMP
+// control-plane jitter: routers answer time-exceeded probes lazily, so a
+// hop's RTT routinely exceeds the destination's, which is precisely why
+// RTT-difference delay estimation (D1+D2 in the street level paper) is
+// unreliable.
+func (s *Sim) Traceroute(src, dst *world.Host, salt uint64) Trace {
+	path := s.Route(src, dst)
+	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("traceroute"),
+		uint64(src.Addr), uint64(dst.Addr), salt)
+	tr := Trace{Hops: make([]TraceHop, len(path.Hops))}
+	for i, h := range path.Hops {
+		jitter := st.Exp(s.Cfg.ICMPJitterMeanMs)
+		if st.Bool(s.Cfg.ICMPSpikeProb) {
+			spike := st.Exp(s.Cfg.ICMPSpikeMeanMs)
+			if spike > s.Cfg.ICMPSpikeMaxMs {
+				spike = s.Cfg.ICMPSpikeMaxMs
+			}
+			jitter += spike
+		}
+		responded := st.Bool(0.95)
+		tr.Hops[i] = TraceHop{
+			RouterID:  h.RouterID,
+			ASID:      h.ASID,
+			RTTMs:     2*h.CumOneWayMs + jitter,
+			Responded: responded,
+		}
+	}
+	tr.DstRTTMs = 2*path.OneWayMs + st.Exp(s.Cfg.PingJitterMeanMs)
+	tr.DstResponded = st.Bool(dst.RespScore)
+	return tr
+}
+
+// LastCommonHop returns the index (in each trace) of the last router the
+// two traceroutes share, requiring the hop to have responded in both. On
+// real paths the common router need not sit at the same hop index in both
+// traces, so the search matches routers by identity rather than position.
+// ok is false when the traces share no responsive hop — the street-level
+// delay for this vantage point is then unusable.
+func LastCommonHop(a, b Trace) (ai, bi int, ok bool) {
+	lastInA := make(map[uint64]int, len(a.Hops))
+	for i, h := range a.Hops {
+		if h.Responded {
+			lastInA[h.RouterID] = i
+		}
+	}
+	for j := len(b.Hops) - 1; j >= 0; j-- {
+		if !b.Hops[j].Responded {
+			continue
+		}
+		if i, found := lastInA[b.Hops[j].RouterID]; found {
+			return i, j, true
+		}
+	}
+	return -1, -1, false
+}

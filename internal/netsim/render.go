@@ -1,0 +1,26 @@
+package netsim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTrace formats a simulated traceroute like the classic tool output:
+// one line per hop with the measured RTT, '*' for unresponsive hops, and
+// the destination's echo line at the end.
+func RenderTrace(tr Trace) string {
+	var b strings.Builder
+	for i, h := range tr.Hops {
+		if h.Responded {
+			fmt.Fprintf(&b, "%2d  router-%016x (AS %d)  %.3f ms\n", i+1, h.RouterID, h.ASID, h.RTTMs)
+		} else {
+			fmt.Fprintf(&b, "%2d  *\n", i+1)
+		}
+	}
+	if tr.DstResponded {
+		fmt.Fprintf(&b, "%2d  destination  %.3f ms\n", len(tr.Hops)+1, tr.DstRTTMs)
+	} else {
+		fmt.Fprintf(&b, "%2d  destination  *\n", len(tr.Hops)+1)
+	}
+	return b.String()
+}

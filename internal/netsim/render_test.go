@@ -1,0 +1,30 @@
+package netsim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderTrace(t *testing.T) {
+	src, dst := hostPair(0, 1)
+	tr := sim.Traceroute(src, dst, 1)
+	out := RenderTrace(tr)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != len(tr.Hops)+1 {
+		t.Fatalf("render has %d lines, want %d", len(lines), len(tr.Hops)+1)
+	}
+	if !strings.Contains(lines[len(lines)-1], "destination") {
+		t.Error("last line should be the destination")
+	}
+}
+
+func TestRenderTraceUnresponsive(t *testing.T) {
+	tr := Trace{
+		Hops:         []TraceHop{{RouterID: 1, Responded: false}},
+		DstResponded: false,
+	}
+	out := RenderTrace(tr)
+	if !strings.Contains(out, "*") {
+		t.Error("unresponsive hops should render as '*'")
+	}
+}

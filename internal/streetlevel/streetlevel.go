@@ -1,0 +1,434 @@
+// Package streetlevel implements the three-tier street-level geolocation
+// technique of Wang et al. (NSDI 2011) as replicated in the paper (§3.2):
+//
+//   - Tier 1: CBG from the vantage points (RIPE Atlas anchors here) at
+//     4/9c, falling back to 2/3c when the intersection is empty.
+//   - Tier 2: concentric circles (R = 5 km, α = 36°) around the tier-1
+//     centroid; sample points are reverse-geocoded, their zip codes are
+//     mined for locally hosted websites, and traceroute RTT differences
+//     (D1 + D2) estimate each landmark's delay to the target.
+//   - Tier 3: the same with finer granularity (R = 1 km, α = 10°) around
+//     the tier-2 centroid; the target maps to the landmark with the
+//     smallest delay.
+//
+// Following the replication (§3.2.2), traceroutes to each landmark are
+// issued only from the ten vantage points with the lowest RTT to the
+// target, and D1/D2 are computed by plain RTT subtraction — the source of
+// the noise the paper documents in §5.2.3 and appendix B.
+package streetlevel
+
+import (
+	"math"
+	"sort"
+
+	"geoloc/internal/core"
+	"geoloc/internal/geo"
+	"geoloc/internal/mapping"
+	"geoloc/internal/netsim"
+	"geoloc/internal/web"
+)
+
+// Config holds the technique's tunables, defaulting to the paper's values.
+type Config struct {
+	// Tier2StepKm and Tier2Points define tier 2's concentric circles:
+	// radius grows by Tier2StepKm and each circle carries Tier2Points
+	// sample points (360/α with α = 36°).
+	Tier2StepKm float64
+	Tier2Points int
+	// Tier3StepKm and Tier3Points define tier 3's finer sweep (α = 10°).
+	Tier3StepKm float64
+	Tier3Points int
+	// NumVPs is how many lowest-RTT vantage points run traceroutes (the
+	// replication's overhead reduction, §3.2.2).
+	NumVPs int
+	// MaxCircles caps the tier-2 concentric sweep; Tier3MaxCircles caps the
+	// tier-3 sweep (its 1 km steps make a wide sweep both pointless — the
+	// premise is street-level refinement — and expensive).
+	MaxCircles      int
+	Tier3MaxCircles int
+	// LatencyCheckMaxRTTMs is the RTT ceiling of the §5.2.2 latency check.
+	// The paper uses 1 ms on the real Internet; the simulator's metro RTT
+	// floor is slightly higher (see DESIGN.md), so the threshold scales
+	// with it.
+	LatencyCheckMaxRTTMs float64
+	// SpeedKmPerMs is the tier-1 speed of Internet (4/9c per the street
+	// level paper); FallbackSpeedKmPerMs is used when the 4/9c region is
+	// empty (2/3c, needed for 5 targets in the paper).
+	SpeedKmPerMs         float64
+	FallbackSpeedKmPerMs float64
+	// DelayAggregation selects how per-VP D1+D2 sums combine into one
+	// landmark delay: "min" (the papers' choice — an upper bound argument)
+	// or "median" (an ablation that trades bias for robustness).
+	DelayAggregation string
+}
+
+// DefaultConfig returns the street level paper's parameters.
+func DefaultConfig() Config {
+	return Config{
+		Tier2StepKm:          5,
+		Tier2Points:          10,
+		Tier3StepKm:          1,
+		Tier3Points:          36,
+		NumVPs:               10,
+		MaxCircles:           40,
+		Tier3MaxCircles:      20,
+		LatencyCheckMaxRTTMs: 1.5,
+		SpeedKmPerMs:         geo.FourNinthsC,
+		FallbackSpeedKmPerMs: geo.TwoThirdsC,
+		DelayAggregation:     "min",
+	}
+}
+
+// Landmark is a website that passed the locally-hosted checks, with its
+// estimated delay to the target.
+type Landmark struct {
+	Site web.Website
+	// Zip is the queried zip code the site was discovered through.
+	Zip int
+	// Tier is 2 or 3, whichever sweep discovered the landmark first.
+	Tier int
+	// DelayMs is min over vantage points of D1+D2; math.NaN() when no
+	// vantage point produced a common hop.
+	DelayMs float64
+	// Usable reports whether DelayMs is a non-negative, usable estimate.
+	Usable bool
+}
+
+// Result is the outcome of geolocating one target.
+type Result struct {
+	// Target is the campaign target index.
+	Target int
+	// Tier1 is the CBG estimate seeding tier 2; Tier1OK is false when even
+	// the fallback speed produced no region (the estimate then falls back
+	// to the lowest-RTT vantage point's location).
+	Tier1   geo.Point
+	Tier1OK bool
+	// UsedFallbackSpeed reports that 4/9c gave an empty region and 2/3c was
+	// used (5 targets in the paper, §5.2.1).
+	UsedFallbackSpeed bool
+	// Estimate is the final geolocation; Method is "landmark" when a
+	// landmark was selected, "cbg" when the technique fell back to tier 1
+	// (46 targets in the paper).
+	Estimate geo.Point
+	Method   string
+	// Landmarks are all landmarks discovered for the target (tiers 2+3,
+	// deduplicated by site key).
+	Landmarks []Landmark
+	// NegativeDelayFrac is the fraction of landmarks whose best D1+D2 came
+	// out negative (Fig 6a).
+	NegativeDelayFrac float64
+	// MappingQueries and WebsiteTests count the tier-2/3 service load.
+	MappingQueries int
+	WebsiteTests   int
+	// TimeSeconds is the simulated wall-clock time to geolocate the target
+	// (Fig 6c).
+	TimeSeconds float64
+}
+
+// Pipeline runs the technique over a prepared campaign.
+type Pipeline struct {
+	C   *core.Campaign
+	Map *mapping.Service
+	Web *web.Resolver
+	Cfg Config
+
+	anchorRows []int
+}
+
+// New builds a pipeline with default configuration. The campaign's target
+// matrix must already be built.
+func New(c *core.Campaign) *Pipeline {
+	return NewWithConfig(c, DefaultConfig())
+}
+
+// NewWithConfig builds a pipeline with explicit parameters.
+func NewWithConfig(c *core.Campaign, cfg Config) *Pipeline {
+	return &Pipeline{
+		C:          c,
+		Map:        mapping.NewService(c.W),
+		Web:        web.NewResolver(c.W),
+		Cfg:        cfg,
+		anchorRows: c.AnchorVPIndices(),
+	}
+}
+
+// saltSL namespaces street-level measurement randomness by target.
+func saltSL(target, kind int) uint64 {
+	return 0x517e_0000 + uint64(target)*16 + uint64(kind)
+}
+
+// Geolocate runs the full three-tier technique for one target.
+func (p *Pipeline) Geolocate(target int) Result {
+	res := Result{Target: target, Method: "cbg"}
+	c := p.C
+
+	// ---- Tier 1: CBG from the anchors at 4/9c (2/3c fallback).
+	region1, speed := p.tier1Region(target)
+	if est, ok := region1.Centroid(); ok {
+		res.Tier1, res.Tier1OK = est, true
+	} else if sp, ok := c.TargetRTT.ShortestPingSubset(target, p.anchorRows); ok {
+		res.Tier1 = sp
+	} else {
+		return res // unreachable target: nothing responded
+	}
+	res.UsedFallbackSpeed = speed != p.Cfg.SpeedKmPerMs
+	res.Estimate = res.Tier1
+	res.TimeSeconds += p.C.Platform.RoundSeconds(saltSL(target, 0))
+
+	// The ten lowest-RTT vantage points run all traceroutes.
+	vps := p.closestAnchorVPs(target, p.Cfg.NumVPs)
+	targetHost := c.Targets[target]
+	targetTraces := make([]netsim.Trace, len(vps))
+	for i, vp := range vps {
+		targetTraces[i] = c.Platform.Traceroute(c.VPs[vp], targetHost, saltSL(target, 1))
+	}
+
+	seen := make(map[uint64]int) // site key -> index in res.Landmarks
+
+	// ---- Tier 2: coarse sweep around the tier-1 centroid.
+	p.sweep(&res, 2, res.Tier1, region1, p.Cfg.Tier2StepKm, p.Cfg.Tier2Points, p.Cfg.MaxCircles, vps, targetTraces, seen)
+	res.TimeSeconds += p.C.Platform.RoundSeconds(saltSL(target, 2))
+
+	// New region from usable landmark delays.
+	region2, center2 := p.landmarkRegion(res.Landmarks, speed)
+	if !center2.Valid() || len(region2.Circles) == 0 {
+		region2, center2 = region1, res.Tier1
+	}
+
+	// ---- Tier 3: fine sweep around the tier-2 centroid.
+	p.sweep(&res, 3, center2, region2, p.Cfg.Tier3StepKm, p.Cfg.Tier3Points, p.Cfg.Tier3MaxCircles, vps, targetTraces, seen)
+	res.TimeSeconds += p.C.Platform.RoundSeconds(saltSL(target, 3))
+
+	// Final mapping: the landmark with the smallest usable delay, tier-3
+	// landmarks preferred, tier-2 otherwise, CBG when none.
+	if lm, ok := bestLandmark(res.Landmarks, 3); ok {
+		res.Estimate, res.Method = lm.Site.POILoc, "landmark"
+	} else if lm, ok := bestLandmark(res.Landmarks, 2); ok {
+		res.Estimate, res.Method = lm.Site.POILoc, "landmark"
+	}
+
+	neg := 0
+	for _, lm := range res.Landmarks {
+		if !math.IsNaN(lm.DelayMs) && lm.DelayMs < 0 {
+			neg++
+		}
+	}
+	if len(res.Landmarks) > 0 {
+		res.NegativeDelayFrac = float64(neg) / float64(len(res.Landmarks))
+	}
+	res.TimeSeconds += p.C.Platform.MappingSeconds(res.MappingQueries) +
+		p.C.Platform.WebTestSeconds(res.WebsiteTests)
+	return res
+}
+
+// tier1Region builds the anchor-VP constraint region, falling back to the
+// conservative speed when 4/9c is infeasible.
+func (p *Pipeline) tier1Region(target int) (geo.Region, float64) {
+	build := func(speed float64) geo.Region {
+		var r geo.Region
+		for _, vp := range p.anchorRows {
+			rtt := float64(p.C.TargetRTT.RTT[vp][target])
+			if math.IsNaN(rtt) || rtt < 0 {
+				continue
+			}
+			r.Add(geo.Circle{Center: p.C.TargetRTT.VPs[vp], RadiusKm: geo.RTTToDistanceKm(rtt, speed)})
+		}
+		return r
+	}
+	r := build(p.Cfg.SpeedKmPerMs)
+	if _, ok := r.Centroid(); ok {
+		return r, p.Cfg.SpeedKmPerMs
+	}
+	return build(p.Cfg.FallbackSpeedKmPerMs), p.Cfg.FallbackSpeedKmPerMs
+}
+
+// closestAnchorVPs returns the anchor rows with the lowest RTT to the
+// target (ascending).
+func (p *Pipeline) closestAnchorVPs(target, k int) []int {
+	type cand struct {
+		vp  int
+		rtt float32
+	}
+	best := make([]cand, 0, k+1)
+	for _, vp := range p.anchorRows {
+		rtt := p.C.TargetRTT.RTT[vp][target]
+		if math.IsNaN(float64(rtt)) {
+			continue
+		}
+		pos := len(best)
+		for pos > 0 && best[pos-1].rtt > rtt {
+			pos--
+		}
+		if pos >= k {
+			continue
+		}
+		best = append(best, cand{})
+		copy(best[pos+1:], best[pos:])
+		best[pos] = cand{vp, rtt}
+		if len(best) > k {
+			best = best[:k]
+		}
+	}
+	out := make([]int, len(best))
+	for i, c := range best {
+		out[i] = c.vp
+	}
+	return out
+}
+
+// sweep walks concentric circles around center, collecting landmarks from
+// every zip code whose sample points fall inside the region, and measures
+// each new landmark's delay to the target.
+func (p *Pipeline) sweep(res *Result, tier int, center geo.Point, region geo.Region,
+	stepKm float64, points, maxCircles int, vps []int, targetTraces []netsim.Trace, seen map[uint64]int) {
+
+	red := region.Reduced()
+	seenZips := make(map[int]bool)
+	for k := 1; k <= maxCircles; k++ {
+		radius := stepKm * float64(k)
+		anyInside := false
+		for i := 0; i < points; i++ {
+			pt := geo.Destination(center, 360*float64(i)/float64(points), radius)
+			if len(red.Circles) > 0 && !red.Contains(pt) {
+				continue
+			}
+			anyInside = true
+			place := p.Map.ReverseGeocode(pt)
+			res.MappingQueries++
+			if seenZips[place.Zip] {
+				continue
+			}
+			seenZips[place.Zip] = true
+			for _, poi := range p.Map.POIsInZip(place.CityID, place.Zone) {
+				if !poi.HasWebsite {
+					continue
+				}
+				if _, dup := seen[poi.Key]; dup {
+					continue
+				}
+				site := p.Web.Resolve(poi)
+				res.WebsiteTests++
+				if !web.RunChecks(site, place.Zip).Passed() {
+					continue
+				}
+				delay, usable := p.landmarkDelay(vps, targetTraces, &site, res.Target)
+				seen[poi.Key] = len(res.Landmarks)
+				res.Landmarks = append(res.Landmarks, Landmark{
+					Site:    site,
+					Zip:     place.Zip,
+					Tier:    tier,
+					DelayMs: delay,
+					Usable:  usable,
+				})
+			}
+		}
+		if !anyInside {
+			break
+		}
+	}
+}
+
+// landmarkDelay estimates the landmark→target delay as the minimum over
+// vantage points of D1+D2 (appendix B of the paper): for each VP, D1 is the
+// landmark RTT minus the last common hop's RTT in the landmark traceroute,
+// D2 the same in the target traceroute.
+func (p *Pipeline) landmarkDelay(vps []int, targetTraces []netsim.Trace, site *web.Website, target int) (float64, bool) {
+	sums := make([]float64, 0, len(vps))
+	for i, vp := range vps {
+		ltrace := p.C.Platform.Traceroute(p.C.VPs[vp], &site.Server, saltSL(target, 4))
+		if !ltrace.DstResponded {
+			continue
+		}
+		ai, bi, ok := netsim.LastCommonHop(ltrace, targetTraces[i])
+		if !ok {
+			continue
+		}
+		d1 := ltrace.DstRTTMs - ltrace.Hops[ai].RTTMs
+		d2 := targetTraces[i].DstRTTMs - targetTraces[i].Hops[bi].RTTMs
+		sums = append(sums, d1+d2)
+	}
+	if len(sums) == 0 {
+		return math.NaN(), false
+	}
+	var delay float64
+	if p.Cfg.DelayAggregation == "median" {
+		sort.Float64s(sums)
+		delay = sums[len(sums)/2]
+	} else {
+		delay = sums[0]
+		for _, s := range sums[1:] {
+			if s < delay {
+				delay = s
+			}
+		}
+	}
+	return delay, delay >= 0
+}
+
+// landmarkRegion converts usable landmark delays into a CBG region and its
+// centroid for tier 3.
+func (p *Pipeline) landmarkRegion(landmarks []Landmark, speed float64) (geo.Region, geo.Point) {
+	var r geo.Region
+	for _, lm := range landmarks {
+		if !lm.Usable {
+			continue
+		}
+		r.Add(geo.Circle{
+			Center:   lm.Site.POILoc,
+			RadiusKm: geo.RTTToDistanceKm(lm.DelayMs, speed),
+		})
+	}
+	if len(r.Circles) == 0 {
+		return geo.Region{}, geo.Point{Lat: math.NaN(), Lon: math.NaN()}
+	}
+	c, ok := r.Centroid()
+	if !ok {
+		return geo.Region{}, geo.Point{Lat: math.NaN(), Lon: math.NaN()}
+	}
+	return r, c
+}
+
+// bestLandmark returns the usable landmark with the smallest delay in the
+// given tier (0 matches any tier).
+func bestLandmark(landmarks []Landmark, tier int) (Landmark, bool) {
+	best := -1
+	for i, lm := range landmarks {
+		if !lm.Usable {
+			continue
+		}
+		if tier != 0 && lm.Tier != tier {
+			continue
+		}
+		if best < 0 || lm.DelayMs < landmarks[best].DelayMs {
+			best = i
+		}
+	}
+	if best < 0 {
+		return Landmark{}, false
+	}
+	return landmarks[best], true
+}
+
+// ClosestLandmark returns the oracle estimate of §5.2.1: the landmark
+// geographically closest to the target's true location (lower bound of the
+// technique's error). ok is false when the target has no landmarks.
+func ClosestLandmark(res Result, truth geo.Point) (geo.Point, bool) {
+	best, bestD := -1, math.Inf(1)
+	for i, lm := range res.Landmarks {
+		if d := geo.Distance(lm.Site.POILoc, truth); d < bestD {
+			best, bestD = i, d
+		}
+	}
+	if best < 0 {
+		return geo.Point{}, false
+	}
+	return res.Landmarks[best].Site.POILoc, true
+}
+
+// LatencyCheck re-validates a landmark the way §5.2.2's third column does:
+// the target (an anchor, so it can measure) pings the landmark and keeps it
+// only when the RTT is below 1 ms.
+func (p *Pipeline) LatencyCheck(target int, lm Landmark) bool {
+	rtt, ok := p.C.Platform.Ping(p.C.Targets[target], &lm.Site.Server, saltSL(target, 5))
+	return ok && rtt < p.Cfg.LatencyCheckMaxRTTMs
+}

@@ -1,0 +1,108 @@
+package vpsel
+
+import (
+	"math"
+
+	"geoloc/internal/cbg"
+	"geoloc/internal/geo"
+)
+
+// MultiStepResult describes one target's multi-round selection (§7.2.3 of
+// the paper: "this principle could be easily extended to multiple rounds
+// instead of two, and attain a number of rounds for which the measurement
+// overhead is minimum").
+type MultiStepResult struct {
+	// SelectedVP is the final chosen vantage point.
+	SelectedVP int
+	// Pings is the total measurement cost across all rounds.
+	Pings int64
+	// Rounds is how many probing rounds actually ran (the sweep stops
+	// early once the candidate set is small enough to probe outright).
+	Rounds int
+}
+
+// MultiStepSelect generalizes TwoStepSelect to an arbitrary number of
+// rounds. Every round probes the current subset's representatives and
+// computes a CBG region; intermediate rounds keep only an Earth-covering
+// sample (of size interBudget) of the one-VP-per-AS/city candidates inside
+// the region, and the final round probes the remaining candidates in full
+// and picks the lowest-RTT VP.
+//
+// More rounds trade measurement overhead for wall-clock time: each round is
+// one more platform API round-trip (§7.2.3 notes this costs only minutes
+// and geolocation does not change quickly).
+func MultiStepSelect(repRTT *cbg.Matrix, meta []VPMeta, firstStep []int, target, rounds, interBudget int) (MultiStepResult, bool) {
+	if rounds < 2 {
+		rounds = 2
+	}
+	if interBudget < 1 {
+		interBudget = 100
+	}
+	res := MultiStepResult{}
+	cur := firstStep
+
+	for r := 0; r < rounds; r++ {
+		res.Rounds = r + 1
+		res.Pings += int64(len(cur)) * RepPingsPerVP
+
+		region := regionFromSubset(repRTT, cur, target, geo.TwoThirdsC)
+		if len(region.Circles) == 0 {
+			return res, false
+		}
+		red := region.Reduced()
+
+		type key struct{ as, city int }
+		seen := make(map[key]bool)
+		var candidates []int
+		for vp := range repRTT.VPs {
+			if !red.Contains(repRTT.VPs[vp]) {
+				continue
+			}
+			k := key{meta[vp].AS, meta[vp].City}
+			if seen[k] {
+				continue
+			}
+			seen[k] = true
+			candidates = append(candidates, vp)
+		}
+		if len(candidates) == 0 {
+			candidates = cur
+		}
+
+		last := r == rounds-2 || len(candidates) <= interBudget
+		if last {
+			// Final round: probe every remaining candidate and select.
+			res.Pings += int64(len(candidates)) * RepPingsPerVP
+			res.Rounds++
+			best, bestRTT := -1, math.Inf(1)
+			for _, vp := range candidates {
+				rtt := float64(repRTT.RTT[vp][target])
+				if math.IsNaN(rtt) || rtt < 0 {
+					continue
+				}
+				if rtt < bestRTT {
+					best, bestRTT = vp, rtt
+				}
+			}
+			if best < 0 {
+				return res, false
+			}
+			res.SelectedVP = best
+			res.Pings++ // final ping to the target itself
+			return res, true
+		}
+
+		// Intermediate round: keep an Earth-covering sample of candidates.
+		locs := make([]geo.Point, len(candidates))
+		for i, vp := range candidates {
+			locs[i] = repRTT.VPs[vp]
+		}
+		picked := GreedyCover(locs, interBudget)
+		next := make([]int, len(picked))
+		for i, p := range picked {
+			next[i] = candidates[p]
+		}
+		cur = next
+	}
+	return res, false
+}

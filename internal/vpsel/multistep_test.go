@@ -1,0 +1,113 @@
+package vpsel
+
+import (
+	"testing"
+
+	"geoloc/internal/geo"
+)
+
+func TestMultiStepSelectBasics(t *testing.T) {
+	meta := campaignMeta(camp)
+	locs := make([]geo.Point, len(camp.VPs))
+	for i, h := range camp.VPs {
+		locs[i] = h.Reported
+	}
+	firstStep := GreedyCover(locs, 10)
+
+	okCount := 0
+	for target := range camp.Targets {
+		res, ok := MultiStepSelect(camp.RepRTT, meta, firstStep, target, 3, 50)
+		if !ok {
+			continue
+		}
+		okCount++
+		if res.SelectedVP < 0 || res.SelectedVP >= len(camp.VPs) {
+			t.Fatalf("invalid VP %d", res.SelectedVP)
+		}
+		if res.Pings < int64(len(firstStep))*RepPingsPerVP {
+			t.Fatalf("pings %d below first-step floor", res.Pings)
+		}
+		if res.Rounds < 2 {
+			t.Fatalf("rounds = %d", res.Rounds)
+		}
+	}
+	if okCount < len(camp.Targets)/2 {
+		t.Errorf("multi-step succeeded for only %d/%d targets", okCount, len(camp.Targets))
+	}
+}
+
+func TestMultiStepTwoRoundsMatchesTwoStepShape(t *testing.T) {
+	// With rounds=2 the multi-step algorithm degenerates to the two-step
+	// one: same probing structure, comparable cost.
+	meta := campaignMeta(camp)
+	locs := make([]geo.Point, len(camp.VPs))
+	for i, h := range camp.VPs {
+		locs[i] = h.Reported
+	}
+	firstStep := GreedyCover(locs, 10)
+	var multiPings, twoPings int64
+	n := 0
+	for target := range camp.Targets {
+		m, ok1 := MultiStepSelect(camp.RepRTT, meta, firstStep, target, 2, 100)
+		tw, ok2 := TwoStepSelect(camp.RepRTT, meta, firstStep, target)
+		if !ok1 || !ok2 {
+			continue
+		}
+		multiPings += m.Pings
+		twoPings += tw.Pings
+		n++
+	}
+	if n == 0 {
+		t.Skip("no comparable targets")
+	}
+	ratio := float64(multiPings) / float64(twoPings)
+	if ratio < 0.5 || ratio > 2 {
+		t.Errorf("2-round multi-step cost ratio vs two-step = %.2f, want ~1", ratio)
+	}
+}
+
+func TestMultiStepMoreRoundsNotMoreExpensivePerTargetOnAverage(t *testing.T) {
+	meta := campaignMeta(camp)
+	locs := make([]geo.Point, len(camp.VPs))
+	for i, h := range camp.VPs {
+		locs[i] = h.Reported
+	}
+	firstStep := GreedyCover(locs, 10)
+
+	cost := func(rounds int) (int64, int) {
+		var total int64
+		n := 0
+		for target := range camp.Targets {
+			if res, ok := MultiStepSelect(camp.RepRTT, meta, firstStep, target, rounds, 40); ok {
+				total += res.Pings
+				n++
+			}
+		}
+		return total, n
+	}
+	c2, n2 := cost(2)
+	c3, n3 := cost(3)
+	if n2 == 0 || n3 == 0 {
+		t.Skip("no selections")
+	}
+	per2 := float64(c2) / float64(n2)
+	per3 := float64(c3) / float64(n3)
+	// Intermediate sampling should not blow up the cost; it can reduce it
+	// when regions are large.
+	if per3 > 2*per2 {
+		t.Errorf("3 rounds cost %.0f pings/target vs 2 rounds %.0f — extra rounds should not double cost", per3, per2)
+	}
+}
+
+func TestMultiStepRoundsClamped(t *testing.T) {
+	meta := campaignMeta(camp)
+	locs := make([]geo.Point, len(camp.VPs))
+	for i, h := range camp.VPs {
+		locs[i] = h.Reported
+	}
+	firstStep := GreedyCover(locs, 5)
+	// rounds < 2 clamps to 2; interBudget < 1 clamps to a sane default.
+	if _, ok := MultiStepSelect(camp.RepRTT, meta, firstStep, 0, 0, 0); !ok {
+		t.Skip("target 0 unselectable in tiny world")
+	}
+}

@@ -1,0 +1,188 @@
+// Package vpsel implements the vantage-point selection machinery of the
+// million scale replication (§3.1, §5.1):
+//
+//   - the original algorithm of Hu et al.: probe each target's three /24
+//     representatives from every vantage point and keep the k VPs with the
+//     lowest RTT to the representatives;
+//   - the greedy Earth-coverage selection of a first-step VP subset
+//     (maximize the sum of logarithmic distances, as in Metis);
+//   - the paper's two-step extension (§5.1.4), which reaches the same
+//     accuracy with ~13% of the measurement overhead.
+package vpsel
+
+import (
+	"math"
+
+	"geoloc/internal/cbg"
+	"geoloc/internal/geo"
+)
+
+// RepPingsPerVP is how many ping measurements one VP spends probing one
+// target's representative set (one ping per representative).
+const RepPingsPerVP = 3
+
+// OriginalSelect returns the k vantage points with the lowest median RTT to
+// the target's representatives, using the full rep matrix — the million
+// scale paper's selection rule. The result is ascending by RTT.
+func OriginalSelect(repRTT *cbg.Matrix, target, k int) []int {
+	return repRTT.ClosestVPs(target, k)
+}
+
+// OriginalOverheadPings returns the measurement cost of running the
+// original algorithm over an entire target set: every VP pings all three
+// representatives of every target, plus the selected VPs ping the target.
+func OriginalOverheadPings(numVPs, numTargets, selectedPerTarget int) int64 {
+	return int64(numVPs)*int64(numTargets)*RepPingsPerVP +
+		int64(numTargets)*int64(selectedPerTarget)
+}
+
+// GreedyCover selects n vantage points spreading over the Earth: the first
+// is the point with the greatest summed log-distance to a sample of the
+// others, and each subsequent pick maximizes the summed log-distance to the
+// already-selected set. This is the first-step subset of the two-step
+// algorithm (§5.1.4, "similar to what has been done in prior work [Metis]").
+func GreedyCover(locs []geo.Point, n int) []int {
+	if n <= 0 || len(locs) == 0 {
+		return nil
+	}
+	if n >= len(locs) {
+		out := make([]int, len(locs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+
+	// Seed: the location with the greatest summed log-distance to a strided
+	// sample (O(V·S) rather than O(V²); the stride keeps it deterministic).
+	stride := len(locs)/97 + 1
+	seed, seedScore := 0, math.Inf(-1)
+	for i, p := range locs {
+		var sum float64
+		for j := 0; j < len(locs); j += stride {
+			sum += math.Log1p(geo.Distance(p, locs[j]))
+		}
+		if sum > seedScore {
+			seed, seedScore = i, sum
+		}
+	}
+
+	selected := make([]int, 0, n)
+	chosen := make([]bool, len(locs))
+	// score[i] accumulates Σ log(1+dist(i, s)) over selected s.
+	score := make([]float64, len(locs))
+
+	add := func(idx int) {
+		selected = append(selected, idx)
+		chosen[idx] = true
+		for i := range locs {
+			if !chosen[i] {
+				score[i] += math.Log1p(geo.Distance(locs[i], locs[idx]))
+			}
+		}
+	}
+	add(seed)
+	for len(selected) < n {
+		best, bestScore := -1, math.Inf(-1)
+		for i := range locs {
+			if !chosen[i] && score[i] > bestScore {
+				best, bestScore = i, score[i]
+			}
+		}
+		add(best)
+	}
+	return selected
+}
+
+// VPMeta is the AS/city identity of a vantage point, used by the two-step
+// algorithm's "one VP per AS/city in the CBG region" rule.
+type VPMeta struct {
+	AS   int
+	City int
+}
+
+// TwoStepResult describes one target's two-step selection.
+type TwoStepResult struct {
+	// SelectedVP is the single chosen vantage point (matrix index).
+	SelectedVP int
+	// SecondStep lists the VPs (one per AS/city inside the first-step CBG
+	// region) that probed the representatives in step two.
+	SecondStep []int
+	// Pings is the per-target measurement cost: first-step representative
+	// pings + second-step representative pings + the final ping to the
+	// target from the selected VP.
+	Pings int64
+}
+
+// TwoStepSelect runs the paper's two-step VP selection for one target:
+//
+//  1. The firstStep subset probes the representatives; their RTTs give a
+//     CBG region for the target.
+//  2. One VP per (AS, city) whose location falls inside the region probes
+//     the representatives; the VP with the lowest median representative RTT
+//     is selected to geolocate the target.
+//
+// ok is false when no usable selection exists (no responsive first-step
+// measurement, or an empty region with no candidate VPs).
+func TwoStepSelect(repRTT *cbg.Matrix, meta []VPMeta, firstStep []int, target int) (TwoStepResult, bool) {
+	res := TwoStepResult{Pings: int64(len(firstStep)) * RepPingsPerVP}
+
+	region := regionFromSubset(repRTT, firstStep, target, geo.TwoThirdsC)
+	if len(region.Circles) == 0 {
+		return res, false
+	}
+	red := region.Reduced()
+
+	// One candidate VP per (AS, city) inside the region.
+	type key struct{ as, city int }
+	seen := make(map[key]bool)
+	var candidates []int
+	for vp := range repRTT.VPs {
+		if !red.Contains(repRTT.VPs[vp]) {
+			continue
+		}
+		k := key{meta[vp].AS, meta[vp].City}
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		candidates = append(candidates, vp)
+	}
+	if len(candidates) == 0 {
+		// Fall back to the best first-step VP.
+		candidates = firstStep
+	}
+	res.SecondStep = candidates
+	res.Pings += int64(len(candidates)) * RepPingsPerVP
+
+	best, bestRTT := -1, math.Inf(1)
+	for _, vp := range candidates {
+		rtt := float64(repRTT.RTT[vp][target])
+		if math.IsNaN(rtt) || rtt < 0 {
+			continue
+		}
+		if rtt < bestRTT {
+			best, bestRTT = vp, rtt
+		}
+	}
+	if best < 0 {
+		return res, false
+	}
+	res.SelectedVP = best
+	res.Pings++ // the selected VP pings the target itself
+	return res, true
+}
+
+// regionFromSubset builds the CBG constraint region for a target from a VP
+// subset of the matrix.
+func regionFromSubset(m *cbg.Matrix, subset []int, target int, speed float64) geo.Region {
+	var r geo.Region
+	for _, vp := range subset {
+		rtt := float64(m.RTT[vp][target])
+		if math.IsNaN(rtt) || rtt < 0 {
+			continue
+		}
+		r.Add(geo.Circle{Center: m.VPs[vp], RadiusKm: geo.RTTToDistanceKm(rtt, speed)})
+	}
+	return r
+}
