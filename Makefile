@@ -1,0 +1,27 @@
+# Developer entry points. `make ci` is exactly what the CI workflow runs.
+
+GO ?= go
+
+.PHONY: all build test race vet bench experiments ci
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run '^$$' .
+
+experiments:
+	$(GO) run ./cmd/experiments -scale tiny -out results
+
+ci: vet build race

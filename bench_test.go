@@ -74,6 +74,18 @@ func BenchmarkFig7(b *testing.B)     { benchExperiment(b, experiments.Fig7) }
 func BenchmarkFig8(b *testing.B)     { benchExperiment(b, experiments.Fig8) }
 func BenchmarkBaseline(b *testing.B) { benchExperiment(b, experiments.Baseline) }
 
+// BenchmarkChaos measures the full fault-intensity sweep: five resilient
+// campaigns (world generation, sanitization under holes, retried matrix
+// builds, CBG) on the tiny world. It is the cost of one `-run chaos`.
+func BenchmarkChaos(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rep := experiments.Chaos(nil)
+		if len(rep.Rows) == 0 {
+			b.Fatal("chaos produced no rows")
+		}
+	}
+}
+
 // BenchmarkCBGLocate measures the core CBG primitive: locating one target
 // from the full vantage-point matrix.
 func BenchmarkCBGLocate(b *testing.B) {

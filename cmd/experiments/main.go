@@ -12,6 +12,8 @@ import (
 	"log"
 	"os"
 	"path/filepath"
+	"runtime/debug"
+	"strings"
 	"time"
 
 	"geoloc/internal/experiments"
@@ -55,6 +57,10 @@ func main() {
 		}
 	}
 
+	// Each experiment runs under a recover barrier: a panic in one figure
+	// must not discard the reports already written to the results
+	// directory. Failures are collected and reported at exit instead.
+	var failed []string
 	found := false
 	for _, e := range experiments.Registry() {
 		if *run != "" && e.ID != *run {
@@ -62,7 +68,12 @@ func main() {
 		}
 		found = true
 		t0 := time.Now()
-		rep := e.Run(ctx)
+		rep, err := runProtected(e, ctx)
+		if err != nil {
+			log.Printf("%s FAILED: %v", e.ID, err)
+			failed = append(failed, e.ID)
+			continue
+		}
 		log.Printf("%s computed in %.1fs", e.ID, time.Since(t0).Seconds())
 		text := rep.Render()
 		fmt.Println(text)
@@ -93,5 +104,21 @@ func main() {
 		}
 		log.Printf("baseline dataset written to %s", filepath.Join(*out, "baseline_dataset.csv"))
 	}
+	if len(failed) > 0 {
+		log.Printf("done in %.1fs; %d experiment(s) failed: %s",
+			time.Since(start).Seconds(), len(failed), strings.Join(failed, ", "))
+		os.Exit(1)
+	}
 	log.Printf("done in %.1fs", time.Since(start).Seconds())
+}
+
+// runProtected runs one experiment, converting a panic into an error so
+// one broken figure cannot take down the rest of the run.
+func runProtected(e experiments.Experiment, ctx *experiments.Context) (rep *experiments.Report, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	return e.Run(ctx), nil
 }

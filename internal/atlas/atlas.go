@@ -11,6 +11,7 @@
 package atlas
 
 import (
+	"sync"
 	"sync/atomic"
 
 	"geoloc/internal/netsim"
@@ -73,6 +74,11 @@ type Platform struct {
 	Sim  *netsim.Sim
 	Cost CostModel
 
+	// statsMu makes Stats snapshots consistent: measurement methods update
+	// the counters atomically while holding the read side, Stats loads all
+	// three under the write side. Without it the three loads could tear —
+	// e.g. a ping counted whose credits are not yet charged.
+	statsMu     sync.RWMutex
 	pings       atomic.Int64
 	traceroutes atomic.Int64
 	credits     atomic.Int64
@@ -87,20 +93,38 @@ func New(w *world.World, sim *netsim.Sim) *Platform {
 // repeated measurements of the same pair; a fixed round reproduces the
 // measurement, which keeps campaigns deterministic even when parallelized.
 func (p *Platform) Ping(src, dst *world.Host, round uint64) (float64, bool) {
+	p.statsMu.RLock()
 	p.pings.Add(1)
 	p.credits.Add(int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket)
+	p.statsMu.RUnlock()
 	return p.Sim.Ping(src, dst, round)
+}
+
+// PingDetail runs one ping measurement and returns per-packet results
+// (the fault-aware variant of Ping); accounting is identical.
+func (p *Platform) PingDetail(src, dst *world.Host, round uint64) netsim.PingResult {
+	p.statsMu.RLock()
+	p.pings.Add(1)
+	p.credits.Add(int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket)
+	p.statsMu.RUnlock()
+	return p.Sim.PingDetail(src, dst, round)
 }
 
 // Traceroute runs one traceroute from src to dst.
 func (p *Platform) Traceroute(src, dst *world.Host, round uint64) netsim.Trace {
+	p.statsMu.RLock()
 	p.traceroutes.Add(1)
 	p.credits.Add(CreditsPerTraceroute)
+	p.statsMu.RUnlock()
 	return p.Sim.Traceroute(src, dst, round)
 }
 
-// Stats returns the current usage counters.
+// Stats returns a consistent snapshot of the usage counters: no
+// measurement is ever half-counted in it (count recorded but credits not
+// yet charged, or vice versa).
 func (p *Platform) Stats() Stats {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	return Stats{
 		Pings:       p.pings.Load(),
 		Traceroutes: p.traceroutes.Load(),
@@ -110,6 +134,8 @@ func (p *Platform) Stats() Stats {
 
 // ResetStats zeroes the usage counters (between experiments).
 func (p *Platform) ResetStats() {
+	p.statsMu.Lock()
+	defer p.statsMu.Unlock()
 	p.pings.Store(0)
 	p.traceroutes.Store(0)
 	p.credits.Store(0)
@@ -139,10 +165,23 @@ func (p *Platform) RoundSeconds(salt uint64) float64 {
 // listed source must send the given number of packets within its
 // packets-per-second budget: the campaign drains at the pace of its
 // slowest source.
+//
+// An empty source list, a non-positive packet count, or a host reporting
+// a non-positive packets-per-second budget all return 0 explicitly: there
+// is no campaign to drain (or no budget to drain it with), and returning
+// 0 beats returning +Inf or dividing by zero. ProbePPS never yields a
+// non-positive budget today, but the guard keeps the contract local.
 func (p *Platform) CampaignSeconds(srcIDs []int, packetsPerSrc int) float64 {
+	if len(srcIDs) == 0 || packetsPerSrc <= 0 {
+		return 0
+	}
 	worst := 0.0
 	for _, id := range srcIDs {
-		if t := float64(packetsPerSrc) / p.ProbePPS(p.W.Host(id)); t > worst {
+		pps := p.ProbePPS(p.W.Host(id))
+		if pps <= 0 {
+			return 0
+		}
+		if t := float64(packetsPerSrc) / pps; t > worst {
 			worst = t
 		}
 	}

@@ -128,6 +128,66 @@ func TestCampaignSecondsEmpty(t *testing.T) {
 	if s := p.CampaignSeconds(nil, 100); s != 0 {
 		t.Errorf("empty campaign = %v", s)
 	}
+	if s := p.CampaignSeconds([]int{}, 100); s != 0 {
+		t.Errorf("empty slice campaign = %v", s)
+	}
+	if s := p.CampaignSeconds(p.W.Probes[:3], 0); s != 0 {
+		t.Errorf("zero-packet campaign = %v", s)
+	}
+	if s := p.CampaignSeconds(p.W.Probes[:3], -5); s != 0 {
+		t.Errorf("negative-packet campaign = %v", s)
+	}
+}
+
+// TestStatsSnapshotConsistent hammers Ping/Traceroute/Stats concurrently
+// and asserts every snapshot satisfies the credit invariant: credits are
+// exactly what the counted measurements cost. A torn snapshot (ping
+// counted, credits not yet charged) breaks it. Run under -race this also
+// exercises the counters' synchronization.
+func TestStatsSnapshotConsistent(t *testing.T) {
+	p := newPlatform()
+	src := p.W.Host(p.W.Probes[0])
+	dst := p.W.Host(p.W.Anchors[0])
+	pingCost := int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket
+
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := p.Stats()
+			if want := st.Pings*pingCost + st.Traceroutes*CreditsPerTraceroute; st.Credits != want {
+				t.Errorf("torn snapshot: %+v (want credits %d)", st, want)
+				return
+			}
+		}
+	}()
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				p.Ping(src, dst, uint64(w*1000+i))
+				if i%7 == 0 {
+					p.Traceroute(src, dst, uint64(w*1000+i))
+				}
+			}
+		}(w)
+	}
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+
+	st := p.Stats()
+	if want := st.Pings*pingCost + st.Traceroutes*CreditsPerTraceroute; st.Credits != want {
+		t.Errorf("final stats inconsistent: %+v", st)
+	}
 }
 
 func TestMappingAndWebTestSeconds(t *testing.T) {

@@ -1,0 +1,506 @@
+package atlas
+
+import (
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"geoloc/internal/faults"
+	"geoloc/internal/netsim"
+	"geoloc/internal/rhash"
+	"geoloc/internal/world"
+)
+
+// Client is the resilient measurement layer over a Platform: it retries
+// failed measurements with exponential backoff and deterministic jitter,
+// times out measurements that exceed a ceiling, quarantines flapping
+// probes behind a per-probe circuit breaker, and enforces a credit budget
+// by shedding the lowest-value vantage points instead of aborting the
+// campaign.
+//
+// All time is accounted on simulated per-source clocks: each source pays
+// for its own pacing (packets ÷ its packets-per-second budget), backoff
+// waits, rate-limit cooldowns and scheduling stalls, and the campaign
+// duration is the slowest source's clock — the same drain-at-the-slowest
+// model as Platform.CampaignSeconds, now with failures included. Because
+// each source's clock advances only from its own deterministic sequence
+// of operations, results and timing are bit-identical regardless of
+// GOMAXPROCS, provided each source issues its measurements in a
+// deterministic order (one goroutine per source, as core's campaigns do).
+//
+// With a disabled fault profile the client is transparent: one attempt
+// per measurement with the caller's salt, so results match the raw
+// platform bit-for-bit.
+type Client struct {
+	P *Platform
+	// F is the fault profile driving API-level failures. Network-level
+	// faults (packet loss, truncation) live in the simulator; the client
+	// only observes their symptoms.
+	F   *faults.Profile
+	Cfg ClientConfig
+
+	mu   sync.Mutex
+	srcs map[int]*srcState
+	shed map[int]bool
+
+	measurements atomic.Int64
+	succeeded    atomic.Int64
+	retries      atomic.Int64
+	failures     atomic.Int64
+	submitErrors atomic.Int64
+	rateLimited  atomic.Int64
+	stalls       atomic.Int64
+	timeouts     atomic.Int64
+	offline      atomic.Int64
+	quarantines  atomic.Int64
+	skippedQuar  atomic.Int64
+	skippedShed  atomic.Int64
+	budgetDenied atomic.Int64
+	creditsSpent atomic.Int64
+}
+
+// ClientConfig tunes the resilience machinery.
+type ClientConfig struct {
+	// MaxAttempts bounds tries per measurement (first attempt included).
+	MaxAttempts int
+	// BackoffBaseSec is the first retry's wait; each further retry doubles
+	// it, capped at BackoffMaxSec. The wait is jittered ±50%
+	// deterministically per (src, dst, salt, attempt).
+	BackoffBaseSec, BackoffMaxSec float64
+	// RateLimitCooldownSec is the extra wait after a 429 response.
+	RateLimitCooldownSec float64
+	// TimeoutMs fails measurements whose RTT exceeds it (0 disables). The
+	// default is far above any Earth RTT so it only fires on pathological
+	// configurations.
+	TimeoutMs float64
+	// BreakerThreshold is how many consecutive probe-side failures (source
+	// offline, timeouts) quarantine a source; QuarantineSec is how long the
+	// quarantine lasts on the source's clock. Requests skipped while
+	// quarantined advance the clock by QuarantineTickSec so windows expire.
+	BreakerThreshold  int
+	QuarantineSec     float64
+	QuarantineTickSec float64
+	// CreditBudget caps the credits this client may spend (0 = unlimited).
+	// Use EnforceBudget to shed low-value sources up front instead of
+	// running into the hard stop mid-campaign.
+	CreditBudget int64
+}
+
+// DefaultClientConfig returns the tuning used by the replication's
+// fault-injection runs.
+func DefaultClientConfig() ClientConfig {
+	return ClientConfig{
+		MaxAttempts:          3,
+		BackoffBaseSec:       2,
+		BackoffMaxSec:        60,
+		RateLimitCooldownSec: 30,
+		TimeoutMs:            3000,
+		BreakerThreshold:     5,
+		QuarantineSec:        900,
+		QuarantineTickSec:    1,
+	}
+}
+
+// Measurement failure reasons.
+var (
+	// ErrUnresponsive: every attempt ran but nothing answered.
+	ErrUnresponsive = errors.New("atlas: no response after all attempts")
+	// ErrOffline: a flapping endpoint was inside an offline window.
+	ErrOffline = errors.New("atlas: endpoint offline")
+	// ErrSubmitFailed: the measurement-creation API call failed.
+	ErrSubmitFailed = errors.New("atlas: measurement submission failed")
+	// ErrRateLimited: the API answered 429 on every attempt.
+	ErrRateLimited = errors.New("atlas: rate limited")
+	// ErrTimeout: the measured RTT exceeded the client timeout.
+	ErrTimeout = errors.New("atlas: measurement timed out")
+	// ErrQuarantined: the source is quarantined by its circuit breaker.
+	ErrQuarantined = errors.New("atlas: source quarantined")
+	// ErrShed: the source was shed by budget enforcement.
+	ErrShed = errors.New("atlas: source shed to fit credit budget")
+	// ErrBudgetExhausted: the credit budget cannot cover the measurement.
+	ErrBudgetExhausted = errors.New("atlas: credit budget exhausted")
+)
+
+// srcState is a source's private resilience state. Its clock is advanced
+// only by that source's own operations, keeping it deterministic under
+// parallel campaigns.
+type srcState struct {
+	mu           sync.Mutex
+	clockUSec    int64
+	consecFails  int
+	quarUntilUSc int64
+}
+
+// kRetrySalt namespaces retry measurement salts away from first attempts.
+var kRetrySalt = rhash.HashString("atlas/retry")
+
+// tracePacketEquiv is the pacing charge of one traceroute in packets
+// (~10 hops × 3 probes each, the Atlas default shape).
+const tracePacketEquiv = 30
+
+// NewClient wraps a platform with the resilience layer. A nil profile is
+// treated as faults.None().
+func NewClient(p *Platform, prof *faults.Profile, cfg ClientConfig) *Client {
+	if prof == nil {
+		prof = faults.None()
+	}
+	return &Client{
+		P:    p,
+		F:    prof,
+		Cfg:  cfg,
+		srcs: make(map[int]*srcState),
+		shed: make(map[int]bool),
+	}
+}
+
+// PingOutcome is the result of one resilient ping.
+type PingOutcome struct {
+	RTTMs    float64
+	OK       bool
+	Attempts int
+	// Err explains the failure when OK is false; nil on success.
+	Err error
+}
+
+// TraceOutcome is the result of one resilient traceroute.
+type TraceOutcome struct {
+	Trace    netsim.Trace
+	OK       bool
+	Attempts int
+	Err      error
+}
+
+func (c *Client) state(srcID int) *srcState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := c.srcs[srcID]
+	if st == nil {
+		st = &srcState{}
+		c.srcs[srcID] = st
+	}
+	return st
+}
+
+func (c *Client) isShed(srcID int) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.shed[srcID]
+}
+
+// advance moves a source's clock forward; callers hold st.mu.
+func (st *srcState) advance(sec float64) {
+	st.clockUSec += int64(sec * 1e6)
+}
+
+func (st *srcState) nowSec() float64 { return float64(st.clockUSec) / 1e6 }
+
+// admit performs the pre-flight checks shared by ping and traceroute;
+// callers hold st.mu. A non-nil error means the measurement must not run.
+func (c *Client) admit(st *srcState, srcID int, cost int64) error {
+	if c.isShed(srcID) {
+		c.skippedShed.Add(1)
+		return ErrShed
+	}
+	if st.clockUSec < st.quarUntilUSc {
+		c.skippedQuar.Add(1)
+		tick := c.Cfg.QuarantineTickSec
+		if tick <= 0 {
+			tick = 1
+		}
+		st.advance(tick)
+		return ErrQuarantined
+	}
+	if c.Cfg.CreditBudget > 0 && c.creditsSpent.Load()+cost > c.Cfg.CreditBudget {
+		c.budgetDenied.Add(1)
+		return ErrBudgetExhausted
+	}
+	return nil
+}
+
+// noteFailure records a probe-side failure against the circuit breaker;
+// callers hold st.mu.
+func (c *Client) noteFailure(st *srcState) {
+	st.consecFails++
+	if c.Cfg.BreakerThreshold > 0 && st.consecFails >= c.Cfg.BreakerThreshold {
+		st.quarUntilUSc = st.clockUSec + int64(c.Cfg.QuarantineSec*1e6)
+		st.consecFails = 0
+		c.quarantines.Add(1)
+	}
+}
+
+// backoff waits out retry attempt `attempt` (1-based) on the source
+// clock, with deterministic ±50% jitter; callers hold st.mu.
+func (c *Client) backoff(st *srcState, src, dst *world.Host, salt uint64, attempt int, rateLimited bool) {
+	d := c.Cfg.BackoffBaseSec * math.Pow(2, float64(attempt-1))
+	if c.Cfg.BackoffMaxSec > 0 && d > c.Cfg.BackoffMaxSec {
+		d = c.Cfg.BackoffMaxSec
+	}
+	u := rhash.UnitFloat(c.P.W.Cfg.Seed, kRetrySalt,
+		uint64(src.Addr), uint64(dst.Addr), salt, uint64(attempt))
+	d *= 0.5 + u
+	if rateLimited {
+		d += c.Cfg.RateLimitCooldownSec
+	}
+	st.advance(d)
+}
+
+// attemptSalt derives the measurement salt of an attempt: the caller's
+// salt verbatim for the first try (bit-compatible with the raw platform),
+// a namespaced re-hash for retries so each retry is a fresh measurement.
+func attemptSalt(salt uint64, attempt int) uint64 {
+	if attempt == 0 {
+		return salt
+	}
+	return rhash.Hash(salt, kRetrySalt, uint64(attempt))
+}
+
+// maxAttempts collapses to a single attempt when no faults are injected,
+// which keeps the client transparent (results bit-identical to the raw
+// platform) under the none profile.
+func (c *Client) maxAttempts() int {
+	if !c.F.Enabled() {
+		return 1
+	}
+	if c.Cfg.MaxAttempts < 1 {
+		return 1
+	}
+	return c.Cfg.MaxAttempts
+}
+
+// Ping runs one resilient ping measurement from src to dst.
+func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
+	c.measurements.Add(1)
+	st := c.state(src.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	pingCost := int64(c.P.Sim.Cfg.PingPackets) * CreditsPerPingPacket
+	if err := c.admit(st, src.ID, pingCost); err != nil {
+		return PingOutcome{Err: err}
+	}
+	pacing := float64(c.P.Sim.Cfg.PingPackets) / c.P.ProbePPS(src)
+
+	seed := c.P.W.Cfg.Seed
+	srcA, dstA := uint64(src.Addr), uint64(dst.Addr)
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.backoff(st, src, dst, salt, attempt, lastErr == ErrRateLimited)
+		}
+		attempts++
+
+		switch c.F.Submit(seed, srcA, dstA, salt, attempt) {
+		case faults.SubmitError:
+			c.submitErrors.Add(1)
+			lastErr = ErrSubmitFailed
+			continue
+		case faults.SubmitRateLimited:
+			c.rateLimited.Add(1)
+			lastErr = ErrRateLimited
+			continue
+		}
+		if stall := c.F.StallSec(seed, srcA, dstA, salt, attempt); stall > 0 {
+			c.stalls.Add(1)
+			st.advance(stall)
+		}
+		if c.F.HostDown(seed, srcA, st.nowSec()) {
+			c.offline.Add(1)
+			lastErr = ErrOffline
+			c.noteFailure(st)
+			continue
+		}
+		if c.F.HostDown(seed, dstA, st.nowSec()) {
+			c.offline.Add(1)
+			lastErr = ErrOffline
+			continue
+		}
+
+		st.advance(pacing)
+		rtt, ok := c.P.Ping(src, dst, attemptSalt(salt, attempt))
+		c.creditsSpent.Add(pingCost)
+		if !ok {
+			lastErr = ErrUnresponsive
+			continue
+		}
+		if c.Cfg.TimeoutMs > 0 && rtt > c.Cfg.TimeoutMs {
+			c.timeouts.Add(1)
+			lastErr = ErrTimeout
+			c.noteFailure(st)
+			continue
+		}
+		st.consecFails = 0
+		c.succeeded.Add(1)
+		return PingOutcome{RTTMs: rtt, OK: true, Attempts: attempts}
+	}
+	c.failures.Add(1)
+	return PingOutcome{Attempts: attempts, Err: lastErr}
+}
+
+// Traceroute runs one resilient traceroute from src to dst. A truncated
+// trace counts as a failure and is retried; the last (possibly partial)
+// trace is returned either way so callers can salvage surviving hops.
+func (c *Client) Traceroute(src, dst *world.Host, salt uint64) TraceOutcome {
+	c.measurements.Add(1)
+	st := c.state(src.ID)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+
+	if err := c.admit(st, src.ID, CreditsPerTraceroute); err != nil {
+		return TraceOutcome{Err: err}
+	}
+	pacing := float64(tracePacketEquiv) / c.P.ProbePPS(src)
+
+	seed := c.P.W.Cfg.Seed
+	srcA, dstA := uint64(src.Addr), uint64(dst.Addr)
+	var last netsim.Trace
+	var lastErr error
+	attempts := 0
+	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			c.backoff(st, src, dst, salt, attempt, lastErr == ErrRateLimited)
+		}
+		attempts++
+
+		switch c.F.Submit(seed, srcA, dstA, salt, attempt) {
+		case faults.SubmitError:
+			c.submitErrors.Add(1)
+			lastErr = ErrSubmitFailed
+			continue
+		case faults.SubmitRateLimited:
+			c.rateLimited.Add(1)
+			lastErr = ErrRateLimited
+			continue
+		}
+		if stall := c.F.StallSec(seed, srcA, dstA, salt, attempt); stall > 0 {
+			c.stalls.Add(1)
+			st.advance(stall)
+		}
+		if c.F.HostDown(seed, srcA, st.nowSec()) {
+			c.offline.Add(1)
+			lastErr = ErrOffline
+			c.noteFailure(st)
+			continue
+		}
+
+		st.advance(pacing)
+		tr := c.P.Traceroute(src, dst, attemptSalt(salt, attempt))
+		c.creditsSpent.Add(CreditsPerTraceroute)
+		last = tr
+		if tr.Truncated || (!tr.DstResponded && c.F.Enabled()) {
+			lastErr = ErrUnresponsive
+			continue
+		}
+		st.consecFails = 0
+		c.succeeded.Add(1)
+		return TraceOutcome{Trace: tr, OK: true, Attempts: attempts}
+	}
+	c.failures.Add(1)
+	return TraceOutcome{Trace: last, Attempts: attempts, Err: lastErr}
+}
+
+// EnforceBudget plans a campaign of costPerSrc credits per source into
+// the client's credit budget: sources are kept in the given order (most
+// valuable first) while the cumulative planned cost fits; the tail — the
+// lowest-value sources — is shed. Shed sources' measurements return
+// ErrShed without spending anything, degrading coverage gracefully
+// instead of aborting the campaign mid-flight. With no budget configured
+// every source is kept.
+func (c *Client) EnforceBudget(srcsByValueDesc []int, costPerSrc int64) (kept, shed []int) {
+	if c.Cfg.CreditBudget <= 0 || costPerSrc <= 0 {
+		return srcsByValueDesc, nil
+	}
+	remaining := c.Cfg.CreditBudget - c.creditsSpent.Load()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var planned int64
+	for _, id := range srcsByValueDesc {
+		if planned+costPerSrc <= remaining {
+			planned += costPerSrc
+			kept = append(kept, id)
+		} else {
+			c.shed[id] = true
+			shed = append(shed, id)
+		}
+	}
+	return kept, shed
+}
+
+// Available reports whether a source can currently measure: not shed and
+// not quarantined. VP selection uses it to pick replacements for probes
+// the breaker has taken out.
+func (c *Client) Available(srcID int) bool {
+	if c.isShed(srcID) {
+		return false
+	}
+	c.mu.Lock()
+	st := c.srcs[srcID]
+	c.mu.Unlock()
+	if st == nil {
+		return true
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.clockUSec >= st.quarUntilUSc
+}
+
+// ClientStats is a snapshot of the resilience counters.
+type ClientStats struct {
+	// Measurements counts requested measurements (before retries);
+	// Succeeded those that returned a usable result.
+	Measurements, Succeeded int64
+	// Retries counts extra attempts; Failures measurements that exhausted
+	// every attempt.
+	Retries, Failures int64
+	// Failure-mode breakdown.
+	SubmitErrors, RateLimited, Stalls, Timeouts, Offline int64
+	// Quarantines counts circuit-breaker trips; SkippedQuarantined and
+	// SkippedShed count measurements refused locally.
+	Quarantines, SkippedQuarantined, SkippedShed, BudgetDenied int64
+	// ShedSources is how many sources budget enforcement shed.
+	ShedSources int64
+	// CreditsSpent is the credits this client charged to the platform.
+	CreditsSpent int64
+	// CampaignSec is the slowest source clock: the simulated wall-clock
+	// duration of the campaign so far, retries and backoff included.
+	CampaignSec float64
+}
+
+// Stats snapshots the client counters. CampaignSec is exact only when no
+// measurement is in flight.
+func (c *Client) Stats() ClientStats {
+	s := ClientStats{
+		Measurements:       c.measurements.Load(),
+		Succeeded:          c.succeeded.Load(),
+		Retries:            c.retries.Load(),
+		Failures:           c.failures.Load(),
+		SubmitErrors:       c.submitErrors.Load(),
+		RateLimited:        c.rateLimited.Load(),
+		Stalls:             c.stalls.Load(),
+		Timeouts:           c.timeouts.Load(),
+		Offline:            c.offline.Load(),
+		Quarantines:        c.quarantines.Load(),
+		SkippedQuarantined: c.skippedQuar.Load(),
+		SkippedShed:        c.skippedShed.Load(),
+		BudgetDenied:       c.budgetDenied.Load(),
+		CreditsSpent:       c.creditsSpent.Load(),
+	}
+	c.mu.Lock()
+	s.ShedSources = int64(len(c.shed))
+	states := make([]*srcState, 0, len(c.srcs))
+	for _, st := range c.srcs {
+		states = append(states, st)
+	}
+	c.mu.Unlock()
+	for _, st := range states {
+		st.mu.Lock()
+		if sec := st.nowSec(); sec > s.CampaignSec {
+			s.CampaignSec = sec
+		}
+		st.mu.Unlock()
+	}
+	return s
+}

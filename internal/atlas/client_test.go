@@ -1,0 +1,215 @@
+package atlas
+
+import (
+	"errors"
+	"testing"
+
+	"geoloc/internal/faults"
+	"geoloc/internal/netsim"
+	"geoloc/internal/world"
+)
+
+func newClient(prof *faults.Profile, cfg ClientConfig) *Client {
+	w := world.Generate(world.TinyConfig())
+	sim := netsim.New(w)
+	sim.Faults = prof
+	return NewClient(New(w, sim), prof, cfg)
+}
+
+func TestClientTransparentWithoutFaults(t *testing.T) {
+	c := newClient(faults.None(), DefaultClientConfig())
+	raw := newPlatform()
+	for i := 0; i < 40; i++ {
+		src := c.P.W.Host(c.P.W.Probes[i%len(c.P.W.Probes)])
+		dst := c.P.W.Host(c.P.W.Anchors[i%len(c.P.W.Anchors)])
+		out := c.Ping(src, dst, uint64(i))
+		rtt, ok := raw.Ping(raw.W.Host(src.ID), raw.W.Host(dst.ID), uint64(i))
+		if out.OK != ok || (ok && out.RTTMs != rtt) {
+			t.Fatalf("ping %d: client (%v,%v) != platform (%v,%v)", i, out.RTTMs, out.OK, rtt, ok)
+		}
+		if out.Attempts > 1 {
+			t.Fatal("client must not retry when faults are disabled")
+		}
+	}
+	if st := c.Stats(); st.Retries != 0 {
+		t.Errorf("retries = %d under the none profile", st.Retries)
+	}
+}
+
+func TestClientRetriesRecoverLosses(t *testing.T) {
+	// Heavy packet loss but nothing else: retries should recover most
+	// measurements a single attempt loses.
+	prof := &faults.Profile{PacketLoss: 0.6}
+	single := newClient(prof, ClientConfig{MaxAttempts: 1, TimeoutMs: 3000})
+	retrying := newClient(prof, ClientConfig{MaxAttempts: 5, BackoffBaseSec: 1, BackoffMaxSec: 8, TimeoutMs: 3000})
+
+	var okSingle, okRetrying int
+	n := 150
+	for i := 0; i < n; i++ {
+		src := single.P.W.Host(single.P.W.Probes[i%len(single.P.W.Probes)])
+		dst := single.P.W.Host(single.P.W.Anchors[i%len(single.P.W.Anchors)])
+		if single.Ping(src, dst, uint64(i)).OK {
+			okSingle++
+		}
+		src2 := retrying.P.W.Host(src.ID)
+		dst2 := retrying.P.W.Host(dst.ID)
+		if retrying.Ping(src2, dst2, uint64(i)).OK {
+			okRetrying++
+		}
+	}
+	if okRetrying <= okSingle {
+		t.Errorf("retries recovered nothing: %d/%d ok with retries vs %d/%d without",
+			okRetrying, n, okSingle, n)
+	}
+	if st := retrying.Stats(); st.Retries == 0 {
+		t.Error("expected retries under 60% packet loss")
+	}
+}
+
+func TestClientDeterministic(t *testing.T) {
+	run := func() ([]PingOutcome, ClientStats) {
+		c := newClient(faults.Realistic(), DefaultClientConfig())
+		outs := make([]PingOutcome, 0, 100)
+		for i := 0; i < 100; i++ {
+			src := c.P.W.Host(c.P.W.Probes[i%len(c.P.W.Probes)])
+			dst := c.P.W.Host(c.P.W.Anchors[i%len(c.P.W.Anchors)])
+			outs = append(outs, c.Ping(src, dst, uint64(i)))
+		}
+		return outs, c.Stats()
+	}
+	a, sa := run()
+	b, sb := run()
+	for i := range a {
+		if a[i].RTTMs != b[i].RTTMs || a[i].OK != b[i].OK || a[i].Attempts != b[i].Attempts {
+			t.Fatalf("outcome %d differs across identical runs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	if sa != sb {
+		t.Fatalf("client stats differ across identical runs:\n%+v\n%+v", sa, sb)
+	}
+}
+
+func TestCircuitBreakerQuarantines(t *testing.T) {
+	// Every host flaps and is down half the time with a long period, so a
+	// probe caught in a down window fails repeatedly and trips the breaker.
+	prof := &faults.Profile{FlapFrac: 1, FlapPeriodSec: 1e7, FlapDownFrac: 0.5}
+	cfg := DefaultClientConfig()
+	cfg.MaxAttempts = 1
+	cfg.BreakerThreshold = 3
+	cfg.QuarantineSec = 1e6
+	c := newClient(prof, cfg)
+
+	// Find a probe that is down at clock 0.
+	seed := c.P.W.Cfg.Seed
+	var src *world.Host
+	for _, id := range c.P.W.Probes {
+		h := c.P.W.Host(id)
+		if prof.HostDown(seed, uint64(h.Addr), 0) {
+			src = h
+			break
+		}
+	}
+	if src == nil {
+		t.Skip("no probe down at time zero in this world")
+	}
+	dst := c.P.W.Host(c.P.W.Anchors[0])
+	sawQuarantine := false
+	for i := 0; i < 20; i++ {
+		out := c.Ping(src, dst, uint64(i))
+		if errors.Is(out.Err, ErrQuarantined) {
+			sawQuarantine = true
+			break
+		}
+	}
+	if !sawQuarantine {
+		t.Fatal("breaker never quarantined a persistently-offline probe")
+	}
+	if c.Available(src.ID) {
+		t.Error("quarantined probe should not be Available")
+	}
+	if st := c.Stats(); st.Quarantines == 0 || st.SkippedQuarantined == 0 {
+		t.Errorf("stats missed the quarantine: %+v", st)
+	}
+}
+
+func TestEnforceBudgetShedsLowestValue(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.CreditBudget = 100
+	c := newClient(faults.None(), cfg)
+	srcs := []int{1, 2, 3, 4, 5} // descending value
+	kept, shed := c.EnforceBudget(srcs, 30)
+	if len(kept) != 3 || len(shed) != 2 {
+		t.Fatalf("kept %v, shed %v; want 3 kept, 2 shed at 30 credits each into 100", kept, shed)
+	}
+	if shed[0] != 4 || shed[1] != 5 {
+		t.Errorf("should shed the lowest-value tail, shed %v", shed)
+	}
+	// Shed sources are refused without spending.
+	src := c.P.W.Host(c.P.W.Probes[0])
+	dst := c.P.W.Host(c.P.W.Anchors[0])
+	c.mu.Lock()
+	c.shed[src.ID] = true
+	c.mu.Unlock()
+	out := c.Ping(src, dst, 1)
+	if !errors.Is(out.Err, ErrShed) {
+		t.Fatalf("shed source error = %v, want ErrShed", out.Err)
+	}
+	if got := c.Stats().CreditsSpent; got != 0 {
+		t.Errorf("shed source spent %d credits", got)
+	}
+}
+
+func TestBudgetHardStop(t *testing.T) {
+	cfg := DefaultClientConfig()
+	cfg.CreditBudget = 45 // one 30-credit ping fits, the second does not
+	c := newClient(faults.None(), cfg)
+	src := c.P.W.Host(c.P.W.Probes[0])
+	dst := c.P.W.Host(c.P.W.Anchors[0])
+	c.Ping(src, dst, 1)
+	out := c.Ping(src, dst, 2)
+	if !errors.Is(out.Err, ErrBudgetExhausted) {
+		t.Fatalf("second ping error = %v, want ErrBudgetExhausted", out.Err)
+	}
+}
+
+func TestClientTimeAccounting(t *testing.T) {
+	c := newClient(faults.None(), DefaultClientConfig())
+	src := c.P.W.Host(c.P.W.Probes[0])
+	dst := c.P.W.Host(c.P.W.Anchors[0])
+	for i := 0; i < 10; i++ {
+		c.Ping(src, dst, uint64(i))
+	}
+	// Ten pings pace at PingPackets / pps seconds each.
+	want := 10 * float64(c.P.Sim.Cfg.PingPackets) / c.P.ProbePPS(src)
+	got := c.Stats().CampaignSec
+	if got < want*0.99 || got > want*1.01 {
+		t.Errorf("campaign sec = %v, want ~%v", got, want)
+	}
+}
+
+func TestClientTracerouteRetriesTruncation(t *testing.T) {
+	prof := &faults.Profile{TraceTruncProb: 0.9}
+	cfg := DefaultClientConfig()
+	cfg.MaxAttempts = 6
+	c := newClient(prof, cfg)
+	recovered, failed := 0, 0
+	for i := 0; i < 40; i++ {
+		src := c.P.W.Host(c.P.W.Probes[i%len(c.P.W.Probes)])
+		dst := c.P.W.Host(c.P.W.Anchors[i%len(c.P.W.Anchors)])
+		out := c.Traceroute(src, dst, uint64(i))
+		if out.OK {
+			if out.Trace.Truncated {
+				t.Fatal("OK traceroute cannot be truncated")
+			}
+			if out.Attempts > 1 {
+				recovered++
+			}
+		} else {
+			failed++
+		}
+	}
+	if recovered == 0 {
+		t.Error("no truncated traceroute was recovered by retrying")
+	}
+	t.Logf("recovered %d, failed %d", recovered, failed)
+}

@@ -52,15 +52,44 @@ func Constraints(ms []Measurement, speedKmPerMs float64) geo.Region {
 
 // Locate runs CBG: it returns the centroid of the constraint intersection.
 func Locate(ms []Measurement, speedKmPerMs float64) (geo.Point, error) {
+	p, _, err := LocateWithCoverage(ms, speedKmPerMs)
+	return p, err
+}
+
+// Coverage reports how much of a requested measurement set actually
+// contributed constraints to an estimate. Under fault injection a target
+// can be located from a fraction of the vantage points that probed it;
+// the fraction is the signal consumers use to judge how much to trust
+// the estimate.
+type Coverage struct {
+	// Used counts measurements that produced a constraint; Requested is
+	// the size of the measurement set asked for.
+	Used, Requested int
+}
+
+// Frac is Used/Requested, 0 for an empty request.
+func (c Coverage) Frac() float64 {
+	if c.Requested == 0 {
+		return 0
+	}
+	return float64(c.Used) / float64(c.Requested)
+}
+
+// LocateWithCoverage runs CBG and additionally reports how many of the
+// supplied measurements were usable: the estimate intersects only the
+// constraints it actually got, and the caller learns how partial the
+// data was. The coverage is valid even when an error is returned.
+func LocateWithCoverage(ms []Measurement, speedKmPerMs float64) (geo.Point, Coverage, error) {
 	r := Constraints(ms, speedKmPerMs)
+	cov := Coverage{Used: len(r.Circles), Requested: len(ms)}
 	if len(r.Circles) == 0 {
-		return geo.Point{}, ErrNoMeasurements
+		return geo.Point{}, cov, ErrNoMeasurements
 	}
 	c, ok := r.Centroid()
 	if !ok {
-		return geo.Point{}, ErrEmptyRegion
+		return geo.Point{}, cov, ErrEmptyRegion
 	}
-	return c, nil
+	return c, cov, nil
 }
 
 // LocateWithFallback runs CBG at each speed in order and returns the first

@@ -113,6 +113,14 @@ func (m *Matrix) ShortestPingSubset(target int, subset []int) (geo.Point, bool) 
 // the lowest RTT to the target, ascending by RTT. Fewer than k are returned
 // when the target has fewer responsive VPs.
 func (m *Matrix) ClosestVPs(target, k int) []int {
+	return m.ClosestVPsFiltered(target, k, nil)
+}
+
+// ClosestVPsFiltered is ClosestVPs restricted to vantage points the keep
+// predicate accepts (nil keeps all). Campaigns under fault injection use
+// it to re-select replacements when chosen VPs are offline: skipping a
+// dead VP automatically backfills with the next-closest live one.
+func (m *Matrix) ClosestVPsFiltered(target, k int, keep func(vp int) bool) []int {
 	type cand struct {
 		vp  int
 		rtt float32
@@ -123,6 +131,9 @@ func (m *Matrix) ClosestVPs(target, k int) []int {
 	for vp := range m.RTT {
 		rtt := m.RTT[vp][target]
 		if isUnresponsive(rtt) {
+			continue
+		}
+		if keep != nil && !keep(vp) {
 			continue
 		}
 		pos := len(best)

@@ -15,6 +15,7 @@ import (
 
 	"geoloc/internal/atlas"
 	"geoloc/internal/cbg"
+	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/hitlist"
 	"geoloc/internal/netsim"
@@ -27,7 +28,12 @@ type Campaign struct {
 	W        *world.World
 	Sim      *netsim.Sim
 	Platform *atlas.Platform
-	Hitlist  *hitlist.Hitlist
+	// Client, when non-nil, routes the bulk ping campaigns through the
+	// resilient measurement client (retries, circuit breaker, budget
+	// shedding) instead of the raw platform. Fault-injection campaigns set
+	// it; fault-free campaigns leave it nil and keep the raw path.
+	Client  *atlas.Client
+	Hitlist *hitlist.Hitlist
 
 	// SanitizedAnchors / SanitizedProbes are the host IDs surviving §4.3;
 	// RemovedAnchors / RemovedProbes are the hosts the sanitizer dropped.
@@ -65,10 +71,29 @@ func NewCampaign(cfg world.Config) *Campaign {
 	return NewCampaignFromWorld(world.Generate(cfg))
 }
 
+// NewResilientCampaign generates a world and prepares a campaign whose
+// measurement substrate injects the given fault profile and whose bulk
+// campaigns run through the resilient client. Sanitization runs against
+// the faulty substrate too — the anchor mesh has holes, which the
+// sanitizer tolerates. With a disabled profile the campaign is
+// bit-identical to NewCampaign.
+func NewResilientCampaign(cfg world.Config, prof *faults.Profile, ccfg atlas.ClientConfig) *Campaign {
+	w := world.Generate(cfg)
+	sim := netsim.New(w)
+	sim.Faults = prof
+	p := atlas.New(w, sim)
+	c := newCampaign(w, sim, p)
+	c.Client = atlas.NewClient(p, prof, ccfg)
+	return c
+}
+
 // NewCampaignFromWorld wraps an existing world.
 func NewCampaignFromWorld(w *world.World) *Campaign {
 	sim := netsim.New(w)
-	p := atlas.New(w, sim)
+	return newCampaign(w, sim, atlas.New(w, sim))
+}
+
+func newCampaign(w *world.World, sim *netsim.Sim, p *atlas.Platform) *Campaign {
 	c := &Campaign{W: w, Sim: sim, Platform: p}
 
 	aRes := sanitize.Anchors(p, w.Anchors)
@@ -132,6 +157,17 @@ func (c *Campaign) BuildMatrices() {
 	c.BuildRepMatrix()
 }
 
+// ping issues one campaign ping through the resilient client when one is
+// attached, through the raw platform otherwise. The two paths are
+// bit-identical when the client's fault profile is disabled.
+func (c *Campaign) ping(src, dst *world.Host, salt uint64) (float64, bool) {
+	if c.Client != nil {
+		out := c.Client.Ping(src, dst, salt)
+		return out.RTTMs, out.OK
+	}
+	return c.Platform.Ping(src, dst, salt)
+}
+
 // BuildTargetMatrix fills TargetRTT (idempotent).
 func (c *Campaign) BuildTargetMatrix() {
 	if c.TargetRTT != nil {
@@ -145,7 +181,7 @@ func (c *Campaign) BuildTargetMatrix() {
 			if src.ID == dst.ID {
 				continue // a target is never its own vantage point
 			}
-			if rtt, ok := c.Platform.Ping(src, dst, saltTargetPing); ok {
+			if rtt, ok := c.ping(src, dst, saltTargetPing); ok {
 				m.RTT[vp][t] = float32(rtt)
 			}
 		}
@@ -179,7 +215,7 @@ func (c *Campaign) BuildRepMatrix() {
 			}
 			n := 0
 			for r, rep := range reps[t] {
-				if rtt, ok := c.Platform.Ping(src, rep, saltRepPing+uint64(r)); ok {
+				if rtt, ok := c.ping(src, rep, saltRepPing+uint64(r)); ok {
 					rtts[n] = rtt
 					n++
 				}

@@ -232,6 +232,7 @@ func Registry() []Experiment {
 		{"multistep", MultiStep},
 		{"shortestping", ShortestPing},
 		{"ablations", Ablations},
+		{"chaos", Chaos},
 	}
 }
 

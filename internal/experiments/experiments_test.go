@@ -14,8 +14,8 @@ var testCtx = NewContext(world.TinyConfig(), QuickOptions())
 
 func TestAllExperimentsProduceReports(t *testing.T) {
 	reports := All(testCtx)
-	if len(reports) != 22 {
-		t.Fatalf("All produced %d reports, want 22", len(reports))
+	if len(reports) != len(Registry()) {
+		t.Fatalf("All produced %d reports, want %d", len(reports), len(Registry()))
 	}
 	seen := make(map[string]bool)
 	for _, r := range reports {

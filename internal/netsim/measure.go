@@ -1,9 +1,27 @@
 package netsim
 
 import (
+	"math"
+
 	"geoloc/internal/rhash"
 	"geoloc/internal/world"
 )
+
+// PingResult carries the per-packet outcomes of one ping measurement.
+// RIPE Atlas reports every packet of a ping, not just one RTT; with fault
+// injection enabled the distinction matters, because a measurement can be
+// partially answered (some packets lost, some not).
+type PingResult struct {
+	// RTTs holds one entry per packet sent; NaN marks a lost packet.
+	RTTs []float64
+	// Sent and Received count the packets of this measurement.
+	Sent, Received int
+	// MinRTTMs is the minimum over answered packets (the value every
+	// latency-to-distance conversion uses); 0 when no packet was answered.
+	MinRTTMs float64
+	// OK is false when no packet was answered.
+	OK bool
+}
 
 // Ping simulates one ping measurement (Cfg.PingPackets packets) from src to
 // dst and returns the minimum observed RTT in milliseconds. ok is false when
@@ -11,22 +29,43 @@ import (
 // reply probability). salt distinguishes repeated measurements of the same
 // pair; reusing a salt reproduces the measurement exactly.
 func (s *Sim) Ping(src, dst *world.Host, salt uint64) (float64, bool) {
+	r := s.PingDetail(src, dst, salt)
+	return r.MinRTTMs, r.OK
+}
+
+// PingDetail simulates one ping measurement and returns per-packet
+// results. The base delay draws (jitter, responsiveness) are identical to
+// the fault-free simulator's; the fault layer only drops packets on top,
+// from its own key namespace, so enabling faults never changes the RTT of
+// a packet that survives.
+func (s *Sim) PingDetail(src, dst *world.Host, salt uint64) PingResult {
 	base := s.BaseRTTMs(src, dst)
 	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("ping"),
 		uint64(src.Addr), uint64(dst.Addr), salt)
-	best, any := 0.0, false
+	f := s.Faults
+	injecting := f.Enabled()
+	res := PingResult{
+		RTTs: make([]float64, s.Cfg.PingPackets),
+		Sent: s.Cfg.PingPackets,
+	}
 	for p := 0; p < s.Cfg.PingPackets; p++ {
+		res.RTTs[p] = math.NaN()
 		jitter := st.Exp(s.Cfg.PingJitterMeanMs)
 		answered := st.Bool(dst.RespScore)
 		if !answered {
 			continue
 		}
+		if injecting && f.PacketLost(s.W.Cfg.Seed, uint64(src.Addr), uint64(dst.Addr), salt, p) {
+			continue
+		}
 		rtt := base + jitter
-		if !any || rtt < best {
-			best, any = rtt, true
+		res.RTTs[p] = rtt
+		res.Received++
+		if !res.OK || rtt < res.MinRTTMs {
+			res.MinRTTMs, res.OK = rtt, true
 		}
 	}
-	return best, any
+	return res
 }
 
 // TraceHop is one line of simulated traceroute output.
@@ -48,13 +87,18 @@ type Trace struct {
 	DstRTTMs float64
 	// DstResponded is false when the destination never answered.
 	DstResponded bool
+	// Truncated is true when the fault layer cut the traceroute short: the
+	// tail hops are missing (not merely silent) and the destination was
+	// never reached. Consumers must treat DstRTTMs as meaningless then.
+	Truncated bool
 }
 
 // Traceroute simulates a traceroute from src to dst. Hop RTTs carry ICMP
 // control-plane jitter: routers answer time-exceeded probes lazily, so a
 // hop's RTT routinely exceeds the destination's, which is precisely why
 // RTT-difference delay estimation (D1+D2 in the street level paper) is
-// unreliable.
+// unreliable. With fault injection enabled the traceroute may additionally
+// lose its tail (Truncated) or individual hop answers.
 func (s *Sim) Traceroute(src, dst *world.Host, salt uint64) Trace {
 	path := s.Route(src, dst)
 	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("traceroute"),
@@ -79,6 +123,25 @@ func (s *Sim) Traceroute(src, dst *world.Host, salt uint64) Trace {
 	}
 	tr.DstRTTMs = 2*path.OneWayMs + st.Exp(s.Cfg.PingJitterMeanMs)
 	tr.DstResponded = st.Bool(dst.RespScore)
+
+	// Fault injection happens after the base trace is fully drawn, so the
+	// surviving hops carry exactly the RTTs the fault-free simulator would
+	// have produced.
+	if f := s.Faults; f.Enabled() {
+		seed := s.W.Cfg.Seed
+		srcA, dstA := uint64(src.Addr), uint64(dst.Addr)
+		if cut := f.TruncateHop(seed, srcA, dstA, salt, len(tr.Hops)); cut >= 0 {
+			tr.Hops = tr.Hops[:cut]
+			tr.DstRTTMs = 0
+			tr.DstResponded = false
+			tr.Truncated = true
+		}
+		for i := range tr.Hops {
+			if tr.Hops[i].Responded && f.HopLost(seed, srcA, dstA, salt, i) {
+				tr.Hops[i].Responded = false
+			}
+		}
+	}
 	return tr
 }
 

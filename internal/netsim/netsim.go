@@ -15,6 +15,7 @@ package netsim
 import (
 	"math"
 
+	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/rhash"
 	"geoloc/internal/world"
@@ -77,6 +78,12 @@ func DefaultConfig() Config {
 type Sim struct {
 	W   *world.World
 	Cfg Config
+	// Faults, when non-nil and enabled, injects packet loss, truncated
+	// traceroutes and extra hop silence into measurements. Fault draws use
+	// label namespaces disjoint from the base delay model, so a disabled
+	// profile reproduces the fault-free simulator bit-for-bit and an
+	// enabled one perturbs only what it drops, never the surviving RTTs.
+	Faults *faults.Profile
 
 	tier1 []int // AS IDs of tier-1 providers
 	// nearestT1PoP[i][city] is tier-1 i's closest PoP city to the given city.

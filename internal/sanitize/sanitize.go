@@ -30,6 +30,11 @@ type AnchorResult struct {
 	// InitialViolations maps each anchor to its violation count in the
 	// first iteration, before any removal.
 	InitialViolations map[int]int
+	// MeshHoles counts anchor pairs whose mesh measurement got no answer.
+	// Under fault injection the mesh has holes; the analysis tolerates
+	// them (an unmeasured pair simply contributes no violation), and the
+	// count reports how partial the mesh was.
+	MeshHoles int
 }
 
 // Anchors runs the meshed-anchor SOI analysis: every anchor pings every
@@ -43,6 +48,7 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 	}
 
 	// Measure the mesh once; each ordered pair is one measurement.
+	holes := 0
 	viol := make([][]bool, n)
 	for i := range viol {
 		viol[i] = make([]bool, n)
@@ -51,6 +57,7 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 		for j := i + 1; j < n; j++ {
 			rtt, ok := p.Ping(hosts[i], hosts[j], saltMesh)
 			if !ok {
+				holes++
 				continue
 			}
 			if violates(rtt, hosts[i].Reported, hosts[j].Reported) {
@@ -68,7 +75,7 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 			}
 		}
 	}
-	res := AnchorResult{InitialViolations: make(map[int]int, n)}
+	res := AnchorResult{InitialViolations: make(map[int]int, n), MeshHoles: holes}
 	for i, id := range anchorIDs {
 		res.InitialViolations[id] = counts[i]
 	}
@@ -109,6 +116,9 @@ type ProbeResult struct {
 	// Violations maps each removed probe to its violation count against the
 	// trusted anchors.
 	Violations map[int]int
+	// Holes counts probe→anchor measurements that got no answer (tolerated
+	// exactly like anchor-mesh holes).
+	Holes int
 }
 
 // Probes pings every anchor from every probe and removes probes with any
@@ -127,6 +137,7 @@ func Probes(p *atlas.Platform, probeIDs, trustedAnchorIDs []int) ProbeResult {
 		for _, a := range anchors {
 			rtt, ok := p.Ping(probe, a, saltProbeCheck)
 			if !ok {
+				res.Holes++
 				continue
 			}
 			if violates(rtt, probe.Reported, a.Reported) {

@@ -331,12 +331,18 @@ func (p *Pipeline) sweep(res *Result, tier int, center geo.Point, region geo.Reg
 // landmarkDelay estimates the landmark→target delay as the minimum over
 // vantage points of D1+D2 (appendix B of the paper): for each VP, D1 is the
 // landmark RTT minus the last common hop's RTT in the landmark traceroute,
-// D2 the same in the target traceroute.
+// D2 the same in the target traceroute. Pairs whose target or landmark
+// traceroute was truncated by platform faults are skipped entirely: a cut
+// trace has no destination RTT, so its D1+D2 would be garbage rather than
+// merely noisy.
 func (p *Pipeline) landmarkDelay(vps []int, targetTraces []netsim.Trace, site *web.Website, target int) (float64, bool) {
 	sums := make([]float64, 0, len(vps))
 	for i, vp := range vps {
+		if targetTraces[i].Truncated {
+			continue
+		}
 		ltrace := p.C.Platform.Traceroute(p.C.VPs[vp], &site.Server, saltSL(target, 4))
-		if !ltrace.DstResponded {
+		if ltrace.Truncated || !ltrace.DstResponded {
 			continue
 		}
 		ai, bi, ok := netsim.LastCommonHop(ltrace, targetTraces[i])
