@@ -1,8 +1,9 @@
-# Developer entry points. `make ci` is exactly what the CI workflow runs.
+# Developer entry points. `make ci` is what the CI workflow's test job runs
+# (CI additionally runs staticcheck and a bench smoke pass).
 
 GO ?= go
 
-.PHONY: all build test race vet bench experiments ci
+.PHONY: all build test race vet staticcheck bench experiments ci
 
 all: build
 
@@ -18,8 +19,15 @@ race:
 vet:
 	$(GO) vet ./...
 
+# Requires staticcheck on PATH (CI installs it; locally:
+# go install honnef.co/go/tools/cmd/staticcheck@latest).
+staticcheck:
+	staticcheck ./...
+
+# One iteration of every benchmark, parsed into BENCH.json (name → ns/op,
+# allocs/op, and any custom metrics such as BenchmarkChaos registry totals).
 bench:
-	$(GO) test -bench . -benchtime 1x -run '^$$' .
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH.json
 
 experiments:
 	$(GO) run ./cmd/experiments -scale tiny -out results

@@ -77,13 +77,26 @@ func BenchmarkBaseline(b *testing.B) { benchExperiment(b, experiments.Baseline) 
 // BenchmarkChaos measures the full fault-intensity sweep: five resilient
 // campaigns (world generation, sanitization under holes, retried matrix
 // builds, CBG) on the tiny world. It is the cost of one `-run chaos`.
+// The attached metrics are campaign-registry totals of the last iteration
+// (they are identical every iteration — the sweep is deterministic), so
+// BENCH.json records the resilience workload alongside the timing.
 func BenchmarkChaos(b *testing.B) {
+	var retries, credits, failures int64
 	for i := 0; i < b.N; i++ {
-		rep := experiments.Chaos(nil)
-		if len(rep.Rows) == 0 {
+		rows := experiments.ChaosSweep(world.TinyConfig())
+		if len(rows) == 0 {
 			b.Fatal("chaos produced no rows")
 		}
+		retries, credits, failures = 0, 0, 0
+		for _, r := range rows {
+			retries += r.Retries
+			credits += r.CreditsSpent
+			failures += r.Failures
+		}
 	}
+	b.ReportMetric(float64(retries), "retries")
+	b.ReportMetric(float64(failures), "failures")
+	b.ReportMetric(float64(credits), "credits")
 }
 
 // BenchmarkCBGLocate measures the core CBG primitive: locating one target

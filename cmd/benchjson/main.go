@@ -1,0 +1,130 @@
+// Command benchjson converts `go test -bench` output into a JSON summary.
+// It reads the benchmark output on stdin, echoes every line through to
+// stdout (so it can sit in a pipeline without hiding the run), and writes
+// the parsed results to the -o file:
+//
+//	go test -bench . -benchmem -run '^$' . | benchjson -o BENCH.json
+//
+// Custom b.ReportMetric units (e.g. medianErrKm, retries) land in the same
+// per-benchmark metrics map as ns/op, B/op, and allocs/op.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -GOMAXPROCS suffix stripped
+	// (BenchmarkFoo/sub-8 → Foo/sub).
+	Name string `json:"name"`
+	// N is the iteration count of the run.
+	N int64 `json:"n"`
+	// Metrics maps unit → value for every value-unit pair on the line.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Summary is the BENCH.json document.
+type Summary struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// gomaxprocsSuffix matches the trailing -N processor-count suffix go test
+// appends to benchmark names.
+var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("benchjson: ")
+	out := flag.String("o", "BENCH.json", "output JSON file")
+	flag.Parse()
+
+	sum := parse(bufio.NewScanner(os.Stdin), os.Stdout)
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(sum); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%d benchmark(s) written to %s", len(sum.Benchmarks), *out)
+}
+
+// parse consumes benchmark output, echoing each line to echo, and returns
+// the structured summary. Lines it does not understand are passed through
+// untouched and otherwise ignored (PASS, ok, test log output...).
+func parse(sc *bufio.Scanner, echo *os.File) Summary {
+	var sum Summary
+	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		fmt.Fprintln(echo, line)
+		if v, ok := strings.CutPrefix(line, "goos: "); ok {
+			sum.Goos = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "goarch: "); ok {
+			sum.Goarch = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "pkg: "); ok {
+			sum.Pkg = v
+			continue
+		}
+		if v, ok := strings.CutPrefix(line, "cpu: "); ok {
+			sum.CPU = v
+			continue
+		}
+		if b, ok := parseBenchLine(line); ok {
+			sum.Benchmarks = append(sum.Benchmarks, b)
+		}
+	}
+	if sum.Benchmarks == nil {
+		sum.Benchmarks = []Benchmark{}
+	}
+	return sum
+}
+
+// parseBenchLine parses one `BenchmarkName-8  N  v1 unit1  v2 unit2 ...`
+// result line.
+func parseBenchLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return Benchmark{}, false
+	}
+	n, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{
+		Name:    gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
+		N:       n,
+		Metrics: map[string]float64{},
+	}
+	// The rest of the line is value-unit pairs.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, true
+}

@@ -1,0 +1,48 @@
+package main
+
+import "testing"
+
+func TestParseBenchLine(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkChaos-8   \t 3   1066956933 ns/op  187035291 B/op  1796244 allocs/op  42 retries")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "Chaos" || b.N != 3 {
+		t.Fatalf("name=%q n=%d", b.Name, b.N)
+	}
+	want := map[string]float64{
+		"ns/op": 1066956933, "B/op": 187035291, "allocs/op": 1796244, "retries": 42,
+	}
+	for unit, v := range want {
+		if b.Metrics[unit] != v {
+			t.Errorf("%s = %v, want %v", unit, b.Metrics[unit], v)
+		}
+	}
+}
+
+func TestParseBenchLineSubBenchmark(t *testing.T) {
+	b, ok := parseBenchLine("BenchmarkAblationSOI/two-thirds-c-16  1  999 ns/op  12.5 medianErrKm")
+	if !ok {
+		t.Fatal("line not parsed")
+	}
+	if b.Name != "AblationSOI/two-thirds-c" {
+		t.Fatalf("name = %q", b.Name)
+	}
+	if b.Metrics["medianErrKm"] != 12.5 {
+		t.Fatalf("medianErrKm = %v", b.Metrics["medianErrKm"])
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  \tgeoloc\t12.3s",
+		"goos: linux",
+		"BenchmarkBroken notanumber",
+		"",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Errorf("parsed noise line %q", line)
+		}
+	}
+}

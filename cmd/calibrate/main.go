@@ -1,18 +1,23 @@
 package main
 
 import (
+	"flag"
 	"fmt"
-	"os"
 	"time"
 
 	"geoloc/internal/core"
 	"geoloc/internal/geo"
 	"geoloc/internal/stats"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
 func main() {
-	if len(os.Args) > 1 && os.Args[1] == "street" {
+	tele := telemetry.NewCLI()
+	flag.Parse()
+	tele.Start()
+	defer tele.Finish()
+	if flag.Arg(0) == "street" {
 		streetCalib()
 		return
 	}

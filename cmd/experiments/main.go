@@ -4,11 +4,13 @@
 // Usage:
 //
 //	experiments [-scale paper] [-run fig5a] [-trials 100] [-out results]
+//	            [-q] [-metrics] [-metrics-json m.json] [-trace t.json] [-pprof :6060]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"path/filepath"
@@ -17,6 +19,7 @@ import (
 	"time"
 
 	"geoloc/internal/experiments"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -27,7 +30,14 @@ func main() {
 	run := flag.String("run", "", "run only this experiment ID (default: all)")
 	trials := flag.Int("trials", 0, "random-subset trials for Fig 2a/2b (0 = library default; the paper uses 100)")
 	out := flag.String("out", "", "directory to write per-experiment report files")
+	quiet := flag.Bool("q", false, "silence progress logging (reports still go to stdout)")
+	tele := telemetry.NewCLI()
 	flag.Parse()
+	if *quiet {
+		log.SetOutput(io.Discard)
+	}
+	tele.Start()
+	defer tele.Finish()
 
 	var cfg world.Config
 	switch *scale {
@@ -49,6 +59,7 @@ func main() {
 	start := time.Now()
 	log.Printf("preparing %s-scale campaign (sanitize + matrices)...", *scale)
 	ctx := experiments.NewContext(cfg, opts)
+	tele.Attach("campaign", ctx.C.Platform.Reg)
 	log.Printf("campaign ready in %.1fs; running experiments", time.Since(start).Seconds())
 
 	if *out != "" {
@@ -61,6 +72,7 @@ func main() {
 	// must not discard the reports already written to the results
 	// directory. Failures are collected and reported at exit instead.
 	var failed []string
+	var summary []expSummary
 	found := false
 	for _, e := range experiments.Registry() {
 		if *run != "" && e.ID != *run {
@@ -68,13 +80,18 @@ func main() {
 		}
 		found = true
 		t0 := time.Now()
+		before := ctx.C.Platform.Stats()
 		rep, err := runProtected(e, ctx)
+		wall := time.Since(t0).Seconds()
+		after := ctx.C.Platform.Stats()
+		probes := (after.Pings - before.Pings) + (after.Traceroutes - before.Traceroutes)
 		if err != nil {
 			log.Printf("%s FAILED: %v", e.ID, err)
 			failed = append(failed, e.ID)
 			continue
 		}
-		log.Printf("%s computed in %.1fs", e.ID, time.Since(t0).Seconds())
+		summary = append(summary, expSummary{e.ID, wall, probes})
+		log.Printf("%s computed in %.1fs (%d measurements)", e.ID, wall, probes)
 		text := rep.Render()
 		fmt.Println(text)
 		if *out != "" {
@@ -88,6 +105,7 @@ func main() {
 		}
 	}
 	if !found {
+		tele.Finish()
 		log.Fatalf("unknown experiment %q", *run)
 	}
 	if *out != "" && *run == "" {
@@ -104,17 +122,30 @@ func main() {
 		}
 		log.Printf("baseline dataset written to %s", filepath.Join(*out, "baseline_dataset.csv"))
 	}
+	for _, s := range summary {
+		log.Printf("summary: %-14s %6.1fs  %d measurements", s.id, s.wallSec, s.probes)
+	}
 	if len(failed) > 0 {
 		log.Printf("done in %.1fs; %d experiment(s) failed: %s",
 			time.Since(start).Seconds(), len(failed), strings.Join(failed, ", "))
+		tele.Finish()
 		os.Exit(1)
 	}
 	log.Printf("done in %.1fs", time.Since(start).Seconds())
 }
 
-// runProtected runs one experiment, converting a panic into an error so
-// one broken figure cannot take down the rest of the run.
+// expSummary is one line of the per-experiment run summary.
+type expSummary struct {
+	id      string
+	wallSec float64
+	probes  int64
+}
+
+// runProtected runs one experiment under a campaign-phase span, converting
+// a panic into an error so one broken figure cannot take down the rest of
+// the run.
 func runProtected(e experiments.Experiment, ctx *experiments.Context) (rep *experiments.Report, err error) {
+	defer telemetry.Default().StartSpan("experiment." + e.ID).End()
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v\n%s", r, debug.Stack())

@@ -4,7 +4,8 @@
 // Usage:
 //
 //	geoloc [-scale tiny|medium|paper] [-technique cbg|shortest|vpsel|street]
-//	       [-k 10] [-targets 0,1,2 | -all]
+//	       [-k 10] [-targets 0,1,2 | -all] [-showtrace]
+//	       [-metrics] [-metrics-json m.json] [-trace t.json] [-pprof :6060]
 package main
 
 import (
@@ -17,6 +18,7 @@ import (
 	"geoloc"
 	"geoloc/internal/experiments"
 	"geoloc/internal/netsim"
+	"geoloc/internal/telemetry"
 )
 
 func main() {
@@ -27,13 +29,17 @@ func main() {
 	k := flag.Int("k", 10, "number of selected VPs for -technique vpsel")
 	targets := flag.String("targets", "0", "comma-separated target indices")
 	all := flag.Bool("all", false, "geolocate every target")
-	trace := flag.Bool("trace", false, "print a traceroute from the best vantage point to each target")
+	showtrace := flag.Bool("showtrace", false, "print a traceroute from the best vantage point to each target")
+	tele := telemetry.NewCLI()
 	flag.Parse()
+	tele.Start()
+	defer tele.Finish()
 
 	sys, err := newSystem(*scale)
 	if err != nil {
 		log.Fatal(err)
 	}
+	tele.Attach("campaign", sys.Campaign().Platform.Reg)
 
 	var idx []int
 	if *all {
@@ -67,7 +73,7 @@ func main() {
 		fmt.Printf("target %4d  %-16s %s (%s): est=(%.4f, %.4f)  error=%.1f km%s\n",
 			ti, list[ti].Addr, *technique, list[ti].Continent,
 			est.Location.Lat, est.Location.Lon, est.ErrorKm, detail)
-		if *trace {
+		if *showtrace {
 			printTrace(sys, ti)
 		}
 	}

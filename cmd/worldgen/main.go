@@ -14,6 +14,7 @@ import (
 	"os"
 
 	"geoloc/internal/asclass"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -23,7 +24,10 @@ func main() {
 	scale := flag.String("scale", "medium", "world scale: tiny, medium, or paper")
 	seed := flag.Uint64("seed", 0, "override the world seed (0 keeps the default)")
 	jsonPath := flag.String("json", "", "write the full world inventory to this JSON file")
+	tele := telemetry.NewCLI()
 	flag.Parse()
+	tele.Start()
+	defer tele.Finish()
 
 	cfg, err := configFor(*scale)
 	if err != nil {
@@ -32,7 +36,9 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	span := telemetry.Default().StartSpan("phase.worldgen")
 	w := world.Generate(cfg)
+	span.End()
 
 	fmt.Printf("world: scale=%s seed=%d\n", *scale, cfg.Seed)
 	fmt.Printf("  cities: %d   ASes: %d\n", len(w.Cities), len(w.ASes))

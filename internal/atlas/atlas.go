@@ -11,11 +11,9 @@
 package atlas
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"geoloc/internal/netsim"
 	"geoloc/internal/rhash"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -60,7 +58,8 @@ func DefaultCostModel() CostModel {
 	}
 }
 
-// Stats is a snapshot of platform usage counters.
+// Stats is a snapshot of platform usage counters. It is a compatibility
+// view over the platform's telemetry registry (the counters live there).
 type Stats struct {
 	Pings       int64
 	Traceroutes int64
@@ -74,48 +73,59 @@ type Platform struct {
 	Sim  *netsim.Sim
 	Cost CostModel
 
-	// statsMu makes Stats snapshots consistent: measurement methods update
-	// the counters atomically while holding the read side, Stats loads all
-	// three under the write side. Without it the three loads could tear —
-	// e.g. a ping counted whose credits are not yet charged.
-	statsMu     sync.RWMutex
-	pings       atomic.Int64
-	traceroutes atomic.Int64
-	credits     atomic.Int64
+	// Reg is the platform's telemetry registry. It is per-platform and
+	// always enabled: the usage counters double as credit accounting, so
+	// they must count regardless of whether the process-global telemetry
+	// is switched on. The resilient Client folds its counters into the
+	// same registry, so one dump covers the whole measurement layer.
+	//
+	// Snapshot consistency (a ping never counted without its credits)
+	// comes from the registry's Grouped/ReadConsistent discipline.
+	Reg *telemetry.Registry
+
+	mPings       *telemetry.Counter
+	mTraceroutes *telemetry.Counter
+	mCredits     *telemetry.Counter
 }
 
 // New builds a platform over the world with the default cost model.
 func New(w *world.World, sim *netsim.Sim) *Platform {
-	return &Platform{W: w, Sim: sim, Cost: DefaultCostModel()}
+	p := &Platform{W: w, Sim: sim, Cost: DefaultCostModel(), Reg: telemetry.New()}
+	p.mPings = p.Reg.Counter("atlas.pings")
+	p.mTraceroutes = p.Reg.Counter("atlas.traceroutes")
+	p.mCredits = p.Reg.Counter("atlas.credits")
+	return p
+}
+
+// countPing records one ping and its credit charge as a grouped update.
+func (p *Platform) countPing() {
+	p.Reg.Grouped(func() {
+		p.mPings.Add(1)
+		p.mCredits.Add(int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket)
+	})
 }
 
 // Ping runs one ping measurement from src to dst. round distinguishes
 // repeated measurements of the same pair; a fixed round reproduces the
 // measurement, which keeps campaigns deterministic even when parallelized.
 func (p *Platform) Ping(src, dst *world.Host, round uint64) (float64, bool) {
-	p.statsMu.RLock()
-	p.pings.Add(1)
-	p.credits.Add(int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket)
-	p.statsMu.RUnlock()
+	p.countPing()
 	return p.Sim.Ping(src, dst, round)
 }
 
 // PingDetail runs one ping measurement and returns per-packet results
 // (the fault-aware variant of Ping); accounting is identical.
 func (p *Platform) PingDetail(src, dst *world.Host, round uint64) netsim.PingResult {
-	p.statsMu.RLock()
-	p.pings.Add(1)
-	p.credits.Add(int64(p.Sim.Cfg.PingPackets) * CreditsPerPingPacket)
-	p.statsMu.RUnlock()
+	p.countPing()
 	return p.Sim.PingDetail(src, dst, round)
 }
 
 // Traceroute runs one traceroute from src to dst.
 func (p *Platform) Traceroute(src, dst *world.Host, round uint64) netsim.Trace {
-	p.statsMu.RLock()
-	p.traceroutes.Add(1)
-	p.credits.Add(CreditsPerTraceroute)
-	p.statsMu.RUnlock()
+	p.Reg.Grouped(func() {
+		p.mTraceroutes.Add(1)
+		p.mCredits.Add(CreditsPerTraceroute)
+	})
 	return p.Sim.Traceroute(src, dst, round)
 }
 
@@ -123,22 +133,24 @@ func (p *Platform) Traceroute(src, dst *world.Host, round uint64) netsim.Trace {
 // measurement is ever half-counted in it (count recorded but credits not
 // yet charged, or vice versa).
 func (p *Platform) Stats() Stats {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	return Stats{
-		Pings:       p.pings.Load(),
-		Traceroutes: p.traceroutes.Load(),
-		Credits:     p.credits.Load(),
-	}
+	var s Stats
+	p.Reg.ReadConsistent(func() {
+		s = Stats{
+			Pings:       p.mPings.Value(),
+			Traceroutes: p.mTraceroutes.Value(),
+			Credits:     p.mCredits.Value(),
+		}
+	})
+	return s
 }
 
 // ResetStats zeroes the usage counters (between experiments).
 func (p *Platform) ResetStats() {
-	p.statsMu.Lock()
-	defer p.statsMu.Unlock()
-	p.pings.Store(0)
-	p.traceroutes.Store(0)
-	p.credits.Store(0)
+	p.Reg.ReadConsistent(func() {
+		p.mPings.Reset()
+		p.mTraceroutes.Reset()
+		p.mCredits.Reset()
+	})
 }
 
 // ProbePPS returns the probing budget of a host in packets per second:

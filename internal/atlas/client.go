@@ -4,11 +4,11 @@ import (
 	"errors"
 	"math"
 	"sync"
-	"sync/atomic"
 
 	"geoloc/internal/faults"
 	"geoloc/internal/netsim"
 	"geoloc/internal/rhash"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -44,20 +44,26 @@ type Client struct {
 	srcs map[int]*srcState
 	shed map[int]bool
 
-	measurements atomic.Int64
-	succeeded    atomic.Int64
-	retries      atomic.Int64
-	failures     atomic.Int64
-	submitErrors atomic.Int64
-	rateLimited  atomic.Int64
-	stalls       atomic.Int64
-	timeouts     atomic.Int64
-	offline      atomic.Int64
-	quarantines  atomic.Int64
-	skippedQuar  atomic.Int64
-	skippedShed  atomic.Int64
-	budgetDenied atomic.Int64
-	creditsSpent atomic.Int64
+	// Resilience counters live in the platform's telemetry registry
+	// ("atlas.client.*"), so one dump covers platform and client alike.
+	// creditsSpent doubles as budget-accounting state: admit and
+	// EnforceBudget read it back, which is safe because the platform
+	// registry is always enabled.
+	measurements *telemetry.Counter
+	succeeded    *telemetry.Counter
+	retries      *telemetry.Counter
+	failures     *telemetry.Counter
+	submitErrors *telemetry.Counter
+	rateLimited  *telemetry.Counter
+	stalls       *telemetry.Counter
+	timeouts     *telemetry.Counter
+	offline      *telemetry.Counter
+	quarantines  *telemetry.Counter
+	skippedQuar  *telemetry.Counter
+	skippedShed  *telemetry.Counter
+	budgetDenied *telemetry.Counter
+	creditsSpent *telemetry.Counter
+	backoffSec   *telemetry.Histogram
 }
 
 // ClientConfig tunes the resilience machinery.
@@ -145,13 +151,31 @@ func NewClient(p *Platform, prof *faults.Profile, cfg ClientConfig) *Client {
 	if prof == nil {
 		prof = faults.None()
 	}
-	return &Client{
+	c := &Client{
 		P:    p,
 		F:    prof,
 		Cfg:  cfg,
 		srcs: make(map[int]*srcState),
 		shed: make(map[int]bool),
 	}
+	reg := p.Reg
+	c.measurements = reg.Counter("atlas.client.measurements")
+	c.succeeded = reg.Counter("atlas.client.succeeded")
+	c.retries = reg.Counter("atlas.client.retries")
+	c.failures = reg.Counter("atlas.client.failures")
+	c.submitErrors = reg.Counter("atlas.client.submit_errors")
+	c.rateLimited = reg.Counter("atlas.client.rate_limited")
+	c.stalls = reg.Counter("atlas.client.stalls")
+	c.timeouts = reg.Counter("atlas.client.timeouts")
+	c.offline = reg.Counter("atlas.client.offline")
+	c.quarantines = reg.Counter("atlas.client.quarantines")
+	c.skippedQuar = reg.Counter("atlas.client.skipped_quarantined")
+	c.skippedShed = reg.Counter("atlas.client.skipped_shed")
+	c.budgetDenied = reg.Counter("atlas.client.budget_denied")
+	c.creditsSpent = reg.Counter("atlas.client.credits_spent")
+	c.backoffSec = reg.Histogram("atlas.client.backoff_sec",
+		[]float64{1, 2, 5, 10, 30, 60, 120})
+	return c
 }
 
 // PingOutcome is the result of one resilient ping.
@@ -211,7 +235,7 @@ func (c *Client) admit(st *srcState, srcID int, cost int64) error {
 		st.advance(tick)
 		return ErrQuarantined
 	}
-	if c.Cfg.CreditBudget > 0 && c.creditsSpent.Load()+cost > c.Cfg.CreditBudget {
+	if c.Cfg.CreditBudget > 0 && c.creditsSpent.Value()+cost > c.Cfg.CreditBudget {
 		c.budgetDenied.Add(1)
 		return ErrBudgetExhausted
 	}
@@ -242,6 +266,7 @@ func (c *Client) backoff(st *srcState, src, dst *world.Host, salt uint64, attemp
 	if rateLimited {
 		d += c.Cfg.RateLimitCooldownSec
 	}
+	c.backoffSec.Observe(d)
 	st.advance(d)
 }
 
@@ -413,7 +438,7 @@ func (c *Client) EnforceBudget(srcsByValueDesc []int, costPerSrc int64) (kept, s
 	if c.Cfg.CreditBudget <= 0 || costPerSrc <= 0 {
 		return srcsByValueDesc, nil
 	}
-	remaining := c.Cfg.CreditBudget - c.creditsSpent.Load()
+	remaining := c.Cfg.CreditBudget - c.creditsSpent.Value()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	var planned int64
@@ -473,20 +498,20 @@ type ClientStats struct {
 // measurement is in flight.
 func (c *Client) Stats() ClientStats {
 	s := ClientStats{
-		Measurements:       c.measurements.Load(),
-		Succeeded:          c.succeeded.Load(),
-		Retries:            c.retries.Load(),
-		Failures:           c.failures.Load(),
-		SubmitErrors:       c.submitErrors.Load(),
-		RateLimited:        c.rateLimited.Load(),
-		Stalls:             c.stalls.Load(),
-		Timeouts:           c.timeouts.Load(),
-		Offline:            c.offline.Load(),
-		Quarantines:        c.quarantines.Load(),
-		SkippedQuarantined: c.skippedQuar.Load(),
-		SkippedShed:        c.skippedShed.Load(),
-		BudgetDenied:       c.budgetDenied.Load(),
-		CreditsSpent:       c.creditsSpent.Load(),
+		Measurements:       c.measurements.Value(),
+		Succeeded:          c.succeeded.Value(),
+		Retries:            c.retries.Value(),
+		Failures:           c.failures.Value(),
+		SubmitErrors:       c.submitErrors.Value(),
+		RateLimited:        c.rateLimited.Value(),
+		Stalls:             c.stalls.Value(),
+		Timeouts:           c.timeouts.Value(),
+		Offline:            c.offline.Value(),
+		Quarantines:        c.quarantines.Value(),
+		SkippedQuarantined: c.skippedQuar.Value(),
+		SkippedShed:        c.skippedShed.Value(),
+		BudgetDenied:       c.budgetDenied.Value(),
+		CreditsSpent:       c.creditsSpent.Value(),
 	}
 	c.mu.Lock()
 	s.ShedSources = int64(len(c.shed))

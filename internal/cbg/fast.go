@@ -42,6 +42,7 @@ func NewMatrix(vps []geo.Point, targets int) *Matrix {
 // samples the survivors. The returned bool is false when no VP responded or
 // the intersection is empty.
 func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (geo.Point, bool) {
+	meters.locates.Inc()
 	// Pass 1: tightest constraint.
 	tightIdx, tightRadius := -1, math.Inf(1)
 	eachVP(m, subset, func(vp int) {
@@ -55,6 +56,7 @@ func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (g
 		}
 	})
 	if tightIdx < 0 {
+		meters.locatesEmpty.Inc()
 		return geo.Point{}, false
 	}
 	tight := geo.Circle{Center: m.VPs[tightIdx], RadiusKm: tightRadius}
@@ -86,6 +88,7 @@ func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (g
 		sort.Slice(kept, func(i, j int) bool { return kept[i].RadiusKm < kept[j].RadiusKm })
 		kept = kept[:maxConstraints]
 	}
+	meters.constraintsKept.Observe(float64(len(kept) + 1))
 
 	r := geo.Region{Circles: append(kept, tight)}
 	return r.Centroid()

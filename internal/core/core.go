@@ -20,6 +20,7 @@ import (
 	"geoloc/internal/hitlist"
 	"geoloc/internal/netsim"
 	"geoloc/internal/sanitize"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -68,7 +69,13 @@ const (
 // sanitization and hitlist construction run immediately; the RTT matrices
 // are built lazily by BuildMatrices (they are the expensive part).
 func NewCampaign(cfg world.Config) *Campaign {
-	return NewCampaignFromWorld(world.Generate(cfg))
+	return NewCampaignFromWorld(generateWorld(cfg))
+}
+
+// generateWorld wraps world generation in a campaign-phase span.
+func generateWorld(cfg world.Config) *world.World {
+	defer telemetry.Default().StartSpan("phase.worldgen").End()
+	return world.Generate(cfg)
 }
 
 // NewResilientCampaign generates a world and prepares a campaign whose
@@ -78,7 +85,7 @@ func NewCampaign(cfg world.Config) *Campaign {
 // sanitizer tolerates. With a disabled profile the campaign is
 // bit-identical to NewCampaign.
 func NewResilientCampaign(cfg world.Config, prof *faults.Profile, ccfg atlas.ClientConfig) *Campaign {
-	w := world.Generate(cfg)
+	w := generateWorld(cfg)
 	sim := netsim.New(w)
 	sim.Faults = prof
 	p := atlas.New(w, sim)
@@ -96,14 +103,18 @@ func NewCampaignFromWorld(w *world.World) *Campaign {
 func newCampaign(w *world.World, sim *netsim.Sim, p *atlas.Platform) *Campaign {
 	c := &Campaign{W: w, Sim: sim, Platform: p}
 
+	sanSpan := telemetry.Default().StartSpan("phase.sanitize")
 	aRes := sanitize.Anchors(p, w.Anchors)
 	pRes := sanitize.Probes(p, w.Probes, aRes.Kept)
+	sanSpan.End()
 	c.SanitizedAnchors = aRes.Kept
 	c.RemovedAnchors = aRes.Removed
 	c.SanitizedProbes = pRes.Kept
 	c.RemovedProbes = pRes.Removed
 
+	hlSpan := telemetry.Default().StartSpan("phase.hitlist")
 	c.Hitlist = hitlist.Build(w)
+	hlSpan.End()
 
 	c.Targets = make([]*world.Host, len(c.SanitizedAnchors))
 	for i, id := range c.SanitizedAnchors {
@@ -173,6 +184,7 @@ func (c *Campaign) BuildTargetMatrix() {
 	if c.TargetRTT != nil {
 		return
 	}
+	defer telemetry.Default().StartSpan("phase.matrix.targets").End()
 	locs := vpLocations(c.VPs)
 	m := cbg.NewMatrix(locs, len(c.Targets))
 	c.parallelRows(func(vp int) {
@@ -196,6 +208,7 @@ func (c *Campaign) BuildRepMatrix() {
 	if c.RepRTT != nil {
 		return
 	}
+	defer telemetry.Default().StartSpan("phase.matrix.reps").End()
 	locs := vpLocations(c.VPs)
 	m := cbg.NewMatrix(locs, len(c.Targets))
 	reps := make([][]*world.Host, len(c.Targets))

@@ -6,6 +6,7 @@ import (
 
 	"geoloc/internal/atlas"
 	"geoloc/internal/faults"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -80,5 +81,39 @@ func TestNoneProfileCampaignBitIdentical(t *testing.T) {
 	cs := resilient.Client.Stats()
 	if cs.Retries != 0 || cs.Quarantines != 0 || cs.SubmitErrors != 0 {
 		t.Errorf("disabled profile engaged the fault machinery: %+v", cs)
+	}
+}
+
+// TestTelemetryEnabledDoesNotPerturbResults pins the observability rule of
+// DESIGN.md §3.2: enabling the global telemetry registry (what -metrics /
+// -trace do) must not change a single matrix cell or platform counter —
+// telemetry is derived from results, never an input to them.
+func TestTelemetryEnabledDoesNotPerturbResults(t *testing.T) {
+	std := telemetry.Default()
+	if std.IsEnabled() {
+		t.Fatal("global registry unexpectedly enabled at test start")
+	}
+	build := func() *Campaign {
+		c := NewCampaign(world.TinyConfig())
+		c.BuildMatrices()
+		return c
+	}
+	off := build()
+
+	std.SetEnabled(true)
+	t.Cleanup(func() {
+		std.SetEnabled(false)
+		std.Reset()
+	})
+	on := build()
+
+	matricesEqual(t, "TargetRTT", off.TargetRTT.RTT, on.TargetRTT.RTT)
+	matricesEqual(t, "RepRTT", off.RepRTT.RTT, on.RepRTT.RTT)
+	if sa, sb := off.Platform.Stats(), on.Platform.Stats(); sa != sb {
+		t.Errorf("platform stats differ with telemetry enabled:\n%+v\n%+v", sa, sb)
+	}
+	// The enabled run must actually have metered the pipeline.
+	if v := std.Counter("netsim.pings").Value(); v == 0 {
+		t.Error("enabled run recorded no netsim.pings")
 	}
 }

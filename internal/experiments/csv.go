@@ -5,10 +5,13 @@ import (
 )
 
 // CSV renders the report as RFC-4180 CSV (header row first), for plotting
-// the reproduced figures with external tools.
+// the reproduced figures with external tools. A notes-only report (no
+// header, no rows) renders as the empty string rather than a blank line.
 func (r *Report) CSV() string {
 	var b strings.Builder
-	writeCSVRow(&b, r.Header)
+	if len(r.Header) > 0 {
+		writeCSVRow(&b, r.Header)
+	}
 	for _, row := range r.Rows {
 		writeCSVRow(&b, row)
 	}

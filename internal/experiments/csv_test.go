@@ -17,6 +17,59 @@ func TestCSVBasic(t *testing.T) {
 	}
 }
 
+func TestCSVEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		rep  *Report
+		want string
+	}{
+		{"empty report", &Report{}, ""},
+		{"notes only", &Report{Notes: []string{"n"}}, ""},
+		{"empty row", &Report{Header: []string{"a"}, Rows: [][]string{{}}}, "a\n\n"},
+		{"row wider than header", &Report{
+			Header: []string{"a"},
+			Rows:   [][]string{{"1", "2", "3"}},
+		}, "a\n1,2,3\n"},
+		{"embedded newline", &Report{
+			Header: []string{"h"},
+			Rows:   [][]string{{"x\ny"}},
+		}, "h\n\"x\ny\"\n"},
+	}
+	for _, tc := range cases {
+		if got := tc.rep.CSV(); got != tc.want {
+			t.Errorf("%s: CSV = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestRenderEdgeCases(t *testing.T) {
+	// A row wider than the header must not panic, and the extra columns
+	// must still render.
+	r := &Report{
+		ID: "x", Title: "t", PaperRef: "ref",
+		Header: []string{"a"},
+		Rows:   [][]string{{"1", "22", "333"}},
+	}
+	out := r.Render()
+	if !strings.Contains(out, "333") {
+		t.Errorf("wide row lost cells:\n%s", out)
+	}
+
+	// Notes-only report: just the title line and the notes.
+	n := &Report{ID: "y", Title: "t", PaperRef: "ref", Notes: []string{"only note"}}
+	out = n.Render()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 || !strings.Contains(lines[1], "only note") {
+		t.Errorf("notes-only render:\n%s", out)
+	}
+
+	// Empty rows render as blank-ish lines without panicking.
+	e := &Report{ID: "z", Title: "t", PaperRef: "ref", Header: []string{"h"}, Rows: [][]string{{}}}
+	if out := e.Render(); !strings.Contains(out, "h") {
+		t.Errorf("empty-row render:\n%s", out)
+	}
+}
+
 func TestCSVAllReportsParseable(t *testing.T) {
 	for _, r := range All(testCtx) {
 		out := r.CSV()

@@ -15,6 +15,7 @@ import (
 	"geoloc/internal/core"
 	"geoloc/internal/stats"
 	"geoloc/internal/streetlevel"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -32,17 +33,25 @@ type Report struct {
 	Notes []string
 }
 
-// Render formats the report as an aligned text table.
+// Render formats the report as an aligned text table. Rows wider than the
+// header render fine (extra columns are sized from the rows alone), and a
+// notes-only report (no header, no rows) renders just its title and notes.
 func (r *Report) Render() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "== %s — %s (%s)\n", r.ID, r.Title, r.PaperRef)
-	widths := make([]int, len(r.Header))
+	cols := len(r.Header)
+	for _, row := range r.Rows {
+		if len(row) > cols {
+			cols = len(row)
+		}
+	}
+	widths := make([]int, cols)
 	for i, h := range r.Header {
 		widths[i] = len(h)
 	}
 	for _, row := range r.Rows {
 		for i, cell := range row {
-			if i < len(widths) && len(cell) > widths[i] {
+			if len(cell) > widths[i] {
 				widths[i] = len(cell)
 			}
 		}
@@ -56,7 +65,9 @@ func (r *Report) Render() string {
 		}
 		b.WriteByte('\n')
 	}
-	line(r.Header)
+	if len(r.Header) > 0 {
+		line(r.Header)
+	}
 	for _, row := range r.Rows {
 		line(row)
 	}
@@ -241,8 +252,15 @@ func Registry() []Experiment {
 func All(ctx *Context) []*Report {
 	ctx.allOnce.Do(func() {
 		for _, e := range Registry() {
-			ctx.allReports = append(ctx.allReports, e.Run(ctx))
+			ctx.allReports = append(ctx.allReports, runOne(ctx, e))
 		}
 	})
 	return ctx.allReports
+}
+
+// runOne runs a single experiment under a campaign-phase span, so a trace
+// shows one lane entry per figure.
+func runOne(ctx *Context, e Experiment) *Report {
+	defer telemetry.Default().StartSpan("experiment." + e.ID).End()
+	return e.Run(ctx)
 }

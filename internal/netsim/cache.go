@@ -1,0 +1,60 @@
+package netsim
+
+import (
+	"sync/atomic"
+
+	"geoloc/internal/world"
+)
+
+// routeCacheBits sizes the direct-mapped route cache: 1<<routeCacheBits
+// slots. Campaigns measure the same (vantage point, target) pairs over many
+// rounds, so even a small exact-match cache absorbs most Route recomputation.
+const routeCacheBits = 14
+
+// routeCacheEntry is one cached path. The key is host *identity* (pointers
+// into the world's host table) plus the last-mile delays in force when the
+// path was computed: a caller probing with a copied or mutated host misses
+// and recomputes, so the cache can never serve a stale path. Entries are
+// immutable once published; Route hands the same Path value to every hit,
+// which is safe because no consumer mutates a returned Path.
+type routeCacheEntry struct {
+	src, dst     *world.Host
+	srcLM, dstLM float64
+	path         Path
+}
+
+// routeCache is a lock-free direct-mapped cache. Each slot holds at most
+// one entry; a colliding insert simply replaces the previous occupant.
+// Because Route is a pure function of the host pair, replacing or losing an
+// entry can never change results — only the hit/miss counters, which are
+// reporting-only and may vary with goroutine scheduling.
+type routeCache struct {
+	slots [1 << routeCacheBits]atomic.Pointer[routeCacheEntry]
+}
+
+// slot picks the direct-mapped slot of an address pair using a cheap
+// multiplicative mix of both addresses.
+func (c *routeCache) slot(src, dst uint64) *atomic.Pointer[routeCacheEntry] {
+	h := src*0x9E3779B97F4A7C15 ^ dst*0xBF58476D1CE4E5B9
+	h ^= h >> 29
+	return &c.slots[(h*0x94D049BB133111EB)>>(64-routeCacheBits)]
+}
+
+// get returns the cached path for the pair, if present and still valid.
+func (c *routeCache) get(src, dst *world.Host) (Path, bool) {
+	e := c.slot(uint64(src.Addr), uint64(dst.Addr)).Load()
+	if e != nil && e.src == src && e.dst == dst &&
+		e.srcLM == src.LastMileMs && e.dstLM == dst.LastMileMs {
+		return e.path, true
+	}
+	return Path{}, false
+}
+
+// put publishes a computed path for the pair.
+func (c *routeCache) put(src, dst *world.Host, p Path) {
+	c.slot(uint64(src.Addr), uint64(dst.Addr)).Store(&routeCacheEntry{
+		src: src, dst: dst,
+		srcLM: src.LastMileMs, dstLM: dst.LastMileMs,
+		path: p,
+	})
+}

@@ -39,6 +39,7 @@ func (s *Sim) Ping(src, dst *world.Host, salt uint64) (float64, bool) {
 // from its own key namespace, so enabling faults never changes the RTT of
 // a packet that survives.
 func (s *Sim) PingDetail(src, dst *world.Host, salt uint64) PingResult {
+	s.m.pings.Inc()
 	base := s.BaseRTTMs(src, dst)
 	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("ping"),
 		uint64(src.Addr), uint64(dst.Addr), salt)
@@ -65,6 +66,7 @@ func (s *Sim) PingDetail(src, dst *world.Host, salt uint64) PingResult {
 			res.MinRTTMs, res.OK = rtt, true
 		}
 	}
+	s.m.pingPacketsLost.Add(int64(res.Sent - res.Received))
 	return res
 }
 
@@ -100,6 +102,7 @@ type Trace struct {
 // unreliable. With fault injection enabled the traceroute may additionally
 // lose its tail (Truncated) or individual hop answers.
 func (s *Sim) Traceroute(src, dst *world.Host, salt uint64) Trace {
+	s.m.traceroutes.Inc()
 	path := s.Route(src, dst)
 	st := rhash.New(s.W.Cfg.Seed, rhash.HashString("traceroute"),
 		uint64(src.Addr), uint64(dst.Addr), salt)
@@ -135,6 +138,7 @@ func (s *Sim) Traceroute(src, dst *world.Host, salt uint64) Trace {
 			tr.DstRTTMs = 0
 			tr.DstResponded = false
 			tr.Truncated = true
+			s.m.traceTruncated.Inc()
 		}
 		for i := range tr.Hops {
 			if tr.Hops[i].Responded && f.HopLost(seed, srcA, dstA, salt, i) {

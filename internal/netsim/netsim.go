@@ -18,6 +18,7 @@ import (
 	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/rhash"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -88,6 +89,35 @@ type Sim struct {
 	tier1 []int // AS IDs of tier-1 providers
 	// nearestT1PoP[i][city] is tier-1 i's closest PoP city to the given city.
 	nearestT1PoP [][]int
+
+	// routes caches computed paths per host pair. Route is a pure function,
+	// so the cache can never change results — see routeCache.
+	routes routeCache
+	m      simMeters
+}
+
+// simMeters holds the simulator's instrumentation handles, resolved once
+// at construction against the global default registry (disabled unless the
+// binary opts in, so each update costs one atomic load).
+type simMeters struct {
+	pings           *telemetry.Counter
+	pingPacketsLost *telemetry.Counter
+	traceroutes     *telemetry.Counter
+	traceTruncated  *telemetry.Counter
+	routeCacheHits  *telemetry.Counter
+	routeCacheMiss  *telemetry.Counter
+}
+
+func newSimMeters() simMeters {
+	reg := telemetry.Default()
+	return simMeters{
+		pings:           reg.Counter("netsim.pings"),
+		pingPacketsLost: reg.Counter("netsim.ping_packets_lost"),
+		traceroutes:     reg.Counter("netsim.traceroutes"),
+		traceTruncated:  reg.Counter("netsim.traceroutes_truncated"),
+		routeCacheHits:  reg.Counter("netsim.route_cache_hits"),
+		routeCacheMiss:  reg.Counter("netsim.route_cache_misses"),
+	}
 }
 
 // New builds a simulator over the world with default parameters.
@@ -95,7 +125,7 @@ func New(w *world.World) *Sim { return NewWithConfig(w, DefaultConfig()) }
 
 // NewWithConfig builds a simulator with explicit delay parameters.
 func NewWithConfig(w *world.World, cfg Config) *Sim {
-	s := &Sim{W: w, Cfg: cfg}
+	s := &Sim{W: w, Cfg: cfg, m: newSimMeters()}
 	for i := range w.ASes {
 		if isTier1(w, i) {
 			s.tier1 = append(s.tier1, i)

@@ -135,13 +135,27 @@ func (s *Sim) bestPeeringCity(a, b *world.AS, srcCity, dstCity int) (int, bool) 
 	return best, best >= 0
 }
 
-// Route computes the full simulated path between two hosts, including the
+// Route returns the full simulated path between two hosts, including the
 // cumulative one-way delay at each hop. Identical host pairs yield
-// identical paths.
+// identical paths. Paths are served from a lock-free direct-mapped cache;
+// since the underlying computation is a pure function of the pair, cache
+// behavior is invisible in results (only in the hit/miss counters).
 func (s *Sim) Route(src, dst *world.Host) Path {
 	if src.Addr == dst.Addr {
 		return Path{OneWayMs: 0.02}
 	}
+	if p, ok := s.routes.get(src, dst); ok {
+		s.m.routeCacheHits.Inc()
+		return p
+	}
+	s.m.routeCacheMiss.Inc()
+	p := s.computeRoute(src, dst)
+	s.routes.put(src, dst, p)
+	return p
+}
+
+// computeRoute derives the path from scratch (the cache-miss path).
+func (s *Sim) computeRoute(src, dst *world.Host) Path {
 	refs := s.routeRouters(src, dst)
 	hops := make([]PathHop, len(refs))
 	// Datacenter-to-datacenter traffic (two anchors) rides direct backbone

@@ -10,6 +10,7 @@ import (
 
 	"geoloc/internal/atlas"
 	"geoloc/internal/geo"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
 
@@ -106,6 +107,9 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 			res.Kept = append(res.Kept, id)
 		}
 	}
+	reg := telemetry.Default()
+	reg.Counter("sanitize.mesh_holes").Add(int64(res.MeshHoles))
+	reg.Counter("sanitize.anchors_removed").Add(int64(len(res.Removed)))
 	return res
 }
 
@@ -152,6 +156,9 @@ func Probes(p *atlas.Platform, probeIDs, trustedAnchorIDs []int) ProbeResult {
 		}
 	}
 	sort.Ints(res.Removed)
+	reg := telemetry.Default()
+	reg.Counter("sanitize.probe_holes").Add(int64(res.Holes))
+	reg.Counter("sanitize.probes_removed").Add(int64(len(res.Removed)))
 	return res
 }
 

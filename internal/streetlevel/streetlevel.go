@@ -25,8 +25,26 @@ import (
 	"geoloc/internal/geo"
 	"geoloc/internal/mapping"
 	"geoloc/internal/netsim"
+	"geoloc/internal/telemetry"
 	"geoloc/internal/web"
 )
+
+// meters holds the package's instrumentation handles, resolved once against
+// the global default registry.
+var meters = struct {
+	geolocations   *telemetry.Counter
+	methodLandmark *telemetry.Counter
+	methodCBG      *telemetry.Counter
+	fallbackSpeed  *telemetry.Counter
+	landmarks      *telemetry.Histogram
+}{
+	geolocations:   telemetry.Default().Counter("streetlevel.geolocations"),
+	methodLandmark: telemetry.Default().Counter("streetlevel.method_landmark"),
+	methodCBG:      telemetry.Default().Counter("streetlevel.method_cbg"),
+	fallbackSpeed:  telemetry.Default().Counter("streetlevel.fallback_speed"),
+	landmarks: telemetry.Default().Histogram("streetlevel.landmarks",
+		[]float64{0, 5, 10, 25, 50, 100, 250}),
+}
 
 // Config holds the technique's tunables, defaulting to the paper's values.
 type Config struct {
@@ -160,6 +178,18 @@ func saltSL(target, kind int) uint64 {
 // Geolocate runs the full three-tier technique for one target.
 func (p *Pipeline) Geolocate(target int) Result {
 	res := Result{Target: target, Method: "cbg"}
+	defer func() {
+		meters.geolocations.Inc()
+		if res.Method == "landmark" {
+			meters.methodLandmark.Inc()
+		} else {
+			meters.methodCBG.Inc()
+		}
+		if res.UsedFallbackSpeed {
+			meters.fallbackSpeed.Inc()
+		}
+		meters.landmarks.Observe(float64(len(res.Landmarks)))
+	}()
 	c := p.C
 
 	// ---- Tier 1: CBG from the anchors at 4/9c (2/3c fallback).

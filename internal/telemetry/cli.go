@@ -1,0 +1,168 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+	"sync"
+)
+
+// CLI wires the telemetry subsystem into a command line: it registers the
+// shared -metrics / -metrics-json / -trace / -pprof flags, enables the
+// global default registry when any of them is used, and dumps or serves
+// the attached registries. Usage:
+//
+//	tele := telemetry.NewCLI()            // before flag.Parse
+//	flag.Parse()
+//	tele.Start()                          // enables + starts pprof server
+//	tele.Attach("campaign", platform.Reg) // as registries come to exist
+//	defer tele.Finish()                   // dumps -metrics, writes -trace
+//
+// Finish must also be called explicitly before os.Exit paths (deferred
+// calls do not run through os.Exit).
+type CLI struct {
+	// Metrics dumps every attached registry as text to stderr on Finish.
+	Metrics bool
+	// MetricsJSON, when non-empty, writes a JSON snapshot map to the file.
+	MetricsJSON string
+	// TraceOut, when non-empty, writes the recorded spans to the file in
+	// Chrome trace-event format (chrome://tracing, Perfetto).
+	TraceOut string
+	// PprofAddr, when non-empty, serves net/http/pprof and /debug/vars
+	// (including live registry snapshots) on the address.
+	PprofAddr string
+
+	mu   sync.Mutex
+	regs []labeledRegistry
+	done bool
+}
+
+type labeledRegistry struct {
+	label string
+	reg   *Registry
+}
+
+// NewCLI registers the telemetry flags on flag.CommandLine and returns
+// the handle. The global default registry is pre-attached as "pipeline".
+func NewCLI() *CLI {
+	c := &CLI{}
+	flag.BoolVar(&c.Metrics, "metrics", false,
+		"dump telemetry metrics (counters, gauges, histograms, spans) to stderr on exit")
+	flag.StringVar(&c.MetricsJSON, "metrics-json", "",
+		"write a JSON telemetry snapshot to this file on exit")
+	flag.StringVar(&c.TraceOut, "trace", "",
+		"write campaign-phase spans to this file in Chrome trace-event format")
+	flag.StringVar(&c.PprofAddr, "pprof", "",
+		"serve net/http/pprof and /debug/vars (with live telemetry) on this address, e.g. :6060")
+	c.Attach("pipeline", Default())
+	return c
+}
+
+// Active reports whether any telemetry flag was used.
+func (c *CLI) Active() bool {
+	return c.Metrics || c.MetricsJSON != "" || c.TraceOut != "" || c.PprofAddr != ""
+}
+
+// Attach adds a registry to the dump/serve set under the given label.
+func (c *CLI) Attach(label string, r *Registry) {
+	if r == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.regs = append(c.regs, labeledRegistry{label, r})
+}
+
+// Start acts on the parsed flags: it enables the global default registry
+// when any telemetry flag is set and starts the pprof/expvar server when
+// requested. Call it once, after flag.Parse.
+func (c *CLI) Start() {
+	if c.Active() {
+		Enable()
+	}
+	if c.PprofAddr != "" {
+		PublishExpvar(c.snapshotAll)
+		go func() {
+			// The default mux already carries net/http/pprof and expvar.
+			if err := http.ListenAndServe(c.PprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "telemetry: pprof server: %v\n", err)
+			}
+		}()
+	}
+}
+
+func (c *CLI) snapshotAll() map[string]Snapshot {
+	c.mu.Lock()
+	regs := append([]labeledRegistry(nil), c.regs...)
+	c.mu.Unlock()
+	out := make(map[string]Snapshot, len(regs))
+	for _, lr := range regs {
+		out[lr.label] = lr.reg.Snapshot()
+	}
+	return out
+}
+
+// Finish produces the requested end-of-run artifacts: the -metrics text
+// dump, the -metrics-json snapshot, and the -trace Chrome trace file.
+// Idempotent, so it is safe to both defer it and call it before os.Exit.
+func (c *CLI) Finish() error {
+	c.mu.Lock()
+	if c.done {
+		c.mu.Unlock()
+		return nil
+	}
+	c.done = true
+	regs := append([]labeledRegistry(nil), c.regs...)
+	c.mu.Unlock()
+
+	if c.Metrics {
+		for _, lr := range regs {
+			fmt.Fprintf(os.Stderr, "== telemetry [%s]\n", lr.label)
+			if err := lr.reg.WriteText(os.Stderr); err != nil {
+				return err
+			}
+		}
+	}
+	if c.MetricsJSON != "" {
+		if err := writeFileWith(c.MetricsJSON, func(w io.Writer) error {
+			return writeSnapshotMap(w, regs)
+		}); err != nil {
+			return fmt.Errorf("telemetry: metrics-json: %w", err)
+		}
+	}
+	if c.TraceOut != "" {
+		rs := make([]*Registry, len(regs))
+		for i, lr := range regs {
+			rs[i] = lr.reg
+		}
+		if err := writeFileWith(c.TraceOut, func(w io.Writer) error {
+			return WriteChromeTrace(w, rs...)
+		}); err != nil {
+			return fmt.Errorf("telemetry: trace: %w", err)
+		}
+	}
+	return nil
+}
+
+func writeSnapshotMap(w io.Writer, regs []labeledRegistry) error {
+	out := make(map[string]Snapshot, len(regs))
+	for _, lr := range regs {
+		out[lr.label] = lr.reg.Snapshot()
+	}
+	return writeJSONIndent(w, out)
+}
+
+func writeFileWith(path string, fill func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := fill(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

@@ -15,7 +15,20 @@ import (
 
 	"geoloc/internal/cbg"
 	"geoloc/internal/geo"
+	"geoloc/internal/telemetry"
 )
+
+// meters holds the package's instrumentation handles, resolved once against
+// the global default registry.
+var meters = struct {
+	selects        *telemetry.Counter
+	greedyCovers   *telemetry.Counter
+	twoStepSelects *telemetry.Counter
+}{
+	selects:        telemetry.Default().Counter("vpsel.selects"),
+	greedyCovers:   telemetry.Default().Counter("vpsel.greedy_covers"),
+	twoStepSelects: telemetry.Default().Counter("vpsel.two_step_selects"),
+}
 
 // RepPingsPerVP is how many ping measurements one VP spends probing one
 // target's representative set (one ping per representative).
@@ -25,6 +38,7 @@ const RepPingsPerVP = 3
 // the target's representatives, using the full rep matrix — the million
 // scale paper's selection rule. The result is ascending by RTT.
 func OriginalSelect(repRTT *cbg.Matrix, target, k int) []int {
+	meters.selects.Inc()
 	return repRTT.ClosestVPs(target, k)
 }
 
@@ -35,6 +49,7 @@ func OriginalSelect(repRTT *cbg.Matrix, target, k int) []int {
 // selection degrades to farther vantage points instead of shrinking. A
 // nil predicate selects exactly like OriginalSelect.
 func SelectWithReplacement(repRTT *cbg.Matrix, target, k int, alive func(vp int) bool) []int {
+	meters.selects.Inc()
 	return repRTT.ClosestVPsFiltered(target, k, alive)
 }
 
@@ -52,6 +67,7 @@ func OriginalOverheadPings(numVPs, numTargets, selectedPerTarget int) int64 {
 // already-selected set. This is the first-step subset of the two-step
 // algorithm (§5.1.4, "similar to what has been done in prior work [Metis]").
 func GreedyCover(locs []geo.Point, n int) []int {
+	meters.greedyCovers.Inc()
 	if n <= 0 || len(locs) == 0 {
 		return nil
 	}
@@ -135,6 +151,7 @@ type TwoStepResult struct {
 // ok is false when no usable selection exists (no responsive first-step
 // measurement, or an empty region with no candidate VPs).
 func TwoStepSelect(repRTT *cbg.Matrix, meta []VPMeta, firstStep []int, target int) (TwoStepResult, bool) {
+	meters.twoStepSelects.Inc()
 	res := TwoStepResult{Pings: int64(len(firstStep)) * RepPingsPerVP}
 
 	region := regionFromSubset(repRTT, firstStep, target, geo.TwoThirdsC)
