@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench experiments ci
+.PHONY: all build test race vet staticcheck bench experiments ci resume-check fuzz-smoke
 
 all: build
 
@@ -31,5 +31,32 @@ bench:
 
 experiments:
 	$(GO) run ./cmd/experiments -scale tiny -out results
+
+# Resume equivalence (DESIGN.md §3.3): run a tiny campaign uninterrupted,
+# run it again with a checkpoint journal and die abruptly (exit 3) after 40
+# journaled batches, resume from the journal, and require the matrix
+# digests and platform/client stats to match byte for byte — under both
+# the none and realistic fault profiles.
+resume-check:
+	rm -rf .resume-check && mkdir -p .resume-check
+	$(GO) build -o .resume-check/exp ./cmd/experiments
+	set -e; for prof in none realistic; do \
+		./.resume-check/exp -scale tiny -run table1 -faults $$prof \
+			-digest .resume-check/$$prof.base -q >/dev/null; \
+		rc=0; ./.resume-check/exp -scale tiny -run table1 -faults $$prof \
+			-checkpoint-dir .resume-check/$$prof -kill-after-batches 40 -q >/dev/null || rc=$$?; \
+		test $$rc -eq 3; \
+		./.resume-check/exp -scale tiny -run table1 -faults $$prof \
+			-checkpoint-dir .resume-check/$$prof -resume \
+			-digest .resume-check/$$prof.resumed -q >/dev/null; \
+		diff .resume-check/$$prof.base .resume-check/$$prof.resumed; \
+		echo "resume-check($$prof): digests identical"; \
+	done
+	rm -rf .resume-check
+
+# Short coverage-guided fuzz of the journal decoder (the seed corpus also
+# runs as a plain test in `make test`).
+fuzz-smoke:
+	$(GO) test -fuzz FuzzDecoder -fuzztime 10s -run '^$$' ./internal/checkpoint
 
 ci: vet build race

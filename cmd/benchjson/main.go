@@ -7,13 +7,20 @@
 //
 // Custom b.ReportMetric units (e.g. medianErrKm, retries) land in the same
 // per-benchmark metrics map as ns/op, B/op, and allocs/op.
+//
+// Empty or unparseable input is an error: a bench run that crashed or
+// produced nothing must fail the pipeline, not write an empty BENCH.json
+// that downstream tooling mistakes for a clean run. On error no output
+// file is written.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"regexp"
@@ -41,9 +48,17 @@ type Summary struct {
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
+// errNoBenchmarks reports input that contained no benchmark result lines.
+var errNoBenchmarks = errors.New("no benchmark result lines found on stdin (empty, truncated, or failed bench run?)")
+
 // gomaxprocsSuffix matches the trailing -N processor-count suffix go test
 // appends to benchmark names.
 var gomaxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// benchName matches a Go benchmark function name (BenchmarkXxx, possibly
+// with /sub names and a -N suffix). Prose that merely starts with the word
+// "Benchmark" does not match and passes through as a log line.
+var benchName = regexp.MustCompile(`^Benchmark[A-Z_][^\s]*$|^Benchmark$`)
 
 func main() {
 	log.SetFlags(0)
@@ -51,7 +66,10 @@ func main() {
 	out := flag.String("o", "BENCH.json", "output JSON file")
 	flag.Parse()
 
-	sum := parse(bufio.NewScanner(os.Stdin), os.Stdout)
+	sum, err := parse(bufio.NewScanner(os.Stdin), os.Stdout)
+	if err != nil {
+		log.Fatalf("%v; not writing %s", err, *out)
+	}
 	f, err := os.Create(*out)
 	if err != nil {
 		log.Fatal(err)
@@ -68,12 +86,16 @@ func main() {
 }
 
 // parse consumes benchmark output, echoing each line to echo, and returns
-// the structured summary. Lines it does not understand are passed through
-// untouched and otherwise ignored (PASS, ok, test log output...).
-func parse(sc *bufio.Scanner, echo *os.File) Summary {
+// the structured summary. Non-benchmark lines (PASS, ok, test log output,
+// the bare BenchmarkFoo announcement go test prints before a result) are
+// passed through untouched; a line that *claims* to be a result but does
+// not parse is an error, as is input with no results at all.
+func parse(sc *bufio.Scanner, echo io.Writer) (Summary, error) {
 	var sum Summary
 	sc.Buffer(make([]byte, 0, 1024*1024), 1024*1024)
+	lineno := 0
 	for sc.Scan() {
+		lineno++
 		line := sc.Text()
 		fmt.Fprintln(echo, line)
 		if v, ok := strings.CutPrefix(line, "goos: "); ok {
@@ -92,26 +114,38 @@ func parse(sc *bufio.Scanner, echo *os.File) Summary {
 			sum.CPU = v
 			continue
 		}
-		if b, ok := parseBenchLine(line); ok {
+		b, ok, err := parseBenchLine(line)
+		if err != nil {
+			return Summary{}, fmt.Errorf("stdin line %d: %w", lineno, err)
+		}
+		if ok {
 			sum.Benchmarks = append(sum.Benchmarks, b)
 		}
 	}
-	if sum.Benchmarks == nil {
-		sum.Benchmarks = []Benchmark{}
+	if err := sc.Err(); err != nil {
+		return Summary{}, fmt.Errorf("reading stdin: %w", err)
 	}
-	return sum
+	if len(sum.Benchmarks) == 0 {
+		return Summary{}, errNoBenchmarks
+	}
+	return sum, nil
 }
 
 // parseBenchLine parses one `BenchmarkName-8  N  v1 unit1  v2 unit2 ...`
-// result line.
-func parseBenchLine(line string) (Benchmark, bool) {
+// result line. A line that is not a result line at all returns ok=false;
+// a Benchmark-prefixed line with fields that fail to parse returns an
+// error so corrupt output is caught instead of dropped.
+func parseBenchLine(line string) (Benchmark, bool, error) {
 	fields := strings.Fields(line)
-	if len(fields) < 2 || !strings.HasPrefix(fields[0], "Benchmark") {
-		return Benchmark{}, false
+	if len(fields) < 2 || !benchName.MatchString(fields[0]) {
+		return Benchmark{}, false, nil
 	}
 	n, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return Benchmark{}, false
+		return Benchmark{}, false, fmt.Errorf("malformed benchmark line %q: iteration count %q is not an integer", line, fields[1])
+	}
+	if (len(fields)-2)%2 != 0 {
+		return Benchmark{}, false, fmt.Errorf("malformed benchmark line %q: dangling value without a unit", line)
 	}
 	b := Benchmark{
 		Name:    gomaxprocsSuffix.ReplaceAllString(strings.TrimPrefix(fields[0], "Benchmark"), ""),
@@ -122,9 +156,9 @@ func parseBenchLine(line string) (Benchmark, bool) {
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return Benchmark{}, false
+			return Benchmark{}, false, fmt.Errorf("malformed benchmark line %q: value %q is not a number", line, fields[i])
 		}
 		b.Metrics[fields[i+1]] = v
 	}
-	return b, true
+	return b, true, nil
 }

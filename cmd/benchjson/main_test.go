@@ -1,9 +1,18 @@
 package main
 
-import "testing"
+import (
+	"bufio"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+)
 
 func TestParseBenchLine(t *testing.T) {
-	b, ok := parseBenchLine("BenchmarkChaos-8   \t 3   1066956933 ns/op  187035291 B/op  1796244 allocs/op  42 retries")
+	b, ok, err := parseBenchLine("BenchmarkChaos-8   \t 3   1066956933 ns/op  187035291 B/op  1796244 allocs/op  42 retries")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("line not parsed")
 	}
@@ -21,7 +30,10 @@ func TestParseBenchLine(t *testing.T) {
 }
 
 func TestParseBenchLineSubBenchmark(t *testing.T) {
-	b, ok := parseBenchLine("BenchmarkAblationSOI/two-thirds-c-16  1  999 ns/op  12.5 medianErrKm")
+	b, ok, err := parseBenchLine("BenchmarkAblationSOI/two-thirds-c-16  1  999 ns/op  12.5 medianErrKm")
+	if err != nil {
+		t.Fatal(err)
+	}
 	if !ok {
 		t.Fatal("line not parsed")
 	}
@@ -33,16 +45,130 @@ func TestParseBenchLineSubBenchmark(t *testing.T) {
 	}
 }
 
-func TestParseBenchLineRejectsNoise(t *testing.T) {
+func TestParseBenchLineIgnoresNoise(t *testing.T) {
 	for _, line := range []string{
 		"PASS",
 		"ok  \tgeoloc\t12.3s",
 		"goos: linux",
-		"BenchmarkBroken notanumber",
+		"Benchmarking the campaign now",
+		"BenchmarkChaos", // bare announcement line go test prints before the result
 		"",
 	} {
-		if _, ok := parseBenchLine(line); ok {
-			t.Errorf("parsed noise line %q", line)
+		if _, ok, err := parseBenchLine(line); ok || err != nil {
+			t.Errorf("noise line %q: ok=%v err=%v, want ignored", line, ok, err)
 		}
+	}
+}
+
+func TestParse(t *testing.T) {
+	valid := `goos: linux
+goarch: amd64
+pkg: geoloc/internal/experiments
+cpu: Synthetic CPU @ 3.00GHz
+BenchmarkCampaign
+BenchmarkCampaign-8   	       3	 401234567 ns/op	      12 retries	  98.500 coveragePct
+BenchmarkCBG/tiny-8   	    1200	    987654 ns/op	  120384 B/op	     312 allocs/op
+PASS
+ok  	geoloc/internal/experiments	5.123s
+`
+	cases := []struct {
+		name    string
+		in      string
+		want    int    // parsed benchmark count (when no error)
+		wantErr error  // sentinel to match with errors.Is, if any
+		errSub  string // substring the error must contain, if any
+	}{
+		{name: "valid run", in: valid, want: 2},
+		{name: "empty input", in: "", wantErr: errNoBenchmarks},
+		{name: "no result lines", in: "PASS\nok  \tgeoloc\t1.2s\n", wantErr: errNoBenchmarks},
+		{name: "announcement only", in: "BenchmarkCampaign\nPASS\n", wantErr: errNoBenchmarks},
+		{
+			name:   "bad iteration count",
+			in:     "BenchmarkFoo-8 banana 12 ns/op\n",
+			errSub: "not an integer",
+		},
+		{
+			name:   "bad metric value",
+			in:     "BenchmarkFoo-8 10 fast ns/op\n",
+			errSub: "not a number",
+		},
+		{
+			name:   "dangling value",
+			in:     "BenchmarkFoo-8 10 12 ns/op 99\n",
+			errSub: "dangling value",
+		},
+		{
+			name: "prose starting with Benchmark is not a result",
+			in:   "Benchmarking the campaign now...\nBenchmarkFoo-8 10 12 ns/op\n",
+			want: 1,
+		},
+		{
+			name:   "error reports line number",
+			in:     "PASS\nBenchmarkFoo-8 banana\n",
+			errSub: "line 2",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sum, err := parse(bufio.NewScanner(strings.NewReader(tc.in)), io.Discard)
+			if tc.wantErr != nil || tc.errSub != "" {
+				if err == nil {
+					t.Fatalf("parse succeeded with %d benchmarks, want error", len(sum.Benchmarks))
+				}
+				if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+					t.Fatalf("error %v, want errors.Is(%v)", err, tc.wantErr)
+				}
+				if tc.errSub != "" && !strings.Contains(err.Error(), tc.errSub) {
+					t.Fatalf("error %q does not contain %q", err, tc.errSub)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			if len(sum.Benchmarks) != tc.want {
+				t.Fatalf("parsed %d benchmarks, want %d", len(sum.Benchmarks), tc.want)
+			}
+		})
+	}
+}
+
+func TestParseFieldsAndMetrics(t *testing.T) {
+	in := `goos: linux
+goarch: arm64
+pkg: geoloc/internal/core
+cpu: Some CPU
+BenchmarkRun/resume-16   	       7	 1200345 ns/op	  42.000 rowsRestored
+`
+	sum, err := parse(bufio.NewScanner(strings.NewReader(in)), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Goos != "linux" || sum.Goarch != "arm64" || sum.Pkg != "geoloc/internal/core" || sum.CPU != "Some CPU" {
+		t.Fatalf("header fields wrong: %+v", sum)
+	}
+	if len(sum.Benchmarks) != 1 {
+		t.Fatalf("got %d benchmarks", len(sum.Benchmarks))
+	}
+	b := sum.Benchmarks[0]
+	if b.Name != "Run/resume" {
+		t.Fatalf("name %q, want Run/resume (GOMAXPROCS suffix stripped)", b.Name)
+	}
+	if b.N != 7 {
+		t.Fatalf("N = %d, want 7", b.N)
+	}
+	if b.Metrics["ns/op"] != 1200345 || b.Metrics["rowsRestored"] != 42 {
+		t.Fatalf("metrics wrong: %v", b.Metrics)
+	}
+}
+
+func TestParseEchoesEveryLine(t *testing.T) {
+	in := "garbage\nBenchmarkFoo-8 10 12 ns/op\nPASS\n"
+	var sb strings.Builder
+	if _, err := parse(bufio.NewScanner(strings.NewReader(in)), &sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.String() != in {
+		t.Fatalf("echo = %q, want input passed through verbatim", sb.String())
 	}
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"geoloc/internal/core"
@@ -17,11 +21,18 @@ func main() {
 	flag.Parse()
 	tele.Start()
 	defer tele.Finish()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if flag.Arg(0) == "street" {
 		streetCalib()
 		return
 	}
 	for _, name := range []string{"medium", "full"} {
+		if ctx.Err() != nil {
+			fmt.Println("calibrate: interrupted")
+			tele.Finish()
+			os.Exit(130)
+		}
 		var cfg world.Config
 		if name == "medium" {
 			cfg = world.MediumConfig()
@@ -74,6 +85,11 @@ func main() {
 			}
 			fmt.Printf("    %s (n=%d): median=%.1f <=40km %.0f%%\n", ct, len(perCont[ct]),
 				stats.MustMedian(perCont[ct]), 100*stats.FractionBelow(perCont[ct], 40))
+		}
+		if ctx.Err() != nil {
+			fmt.Println("calibrate: interrupted")
+			tele.Finish()
+			os.Exit(130)
 		}
 		// Fig 2c: remove VPs closer than 40 km from each target.
 		var errsNoClose []float64

@@ -4,21 +4,38 @@
 // Usage:
 //
 //	experiments [-scale paper] [-run fig5a] [-trials 100] [-out results]
+//	            [-faults none] [-checkpoint-dir dir] [-resume] [-digest file]
 //	            [-q] [-metrics] [-metrics-json m.json] [-trace t.json] [-pprof :6060]
+//
+// With -checkpoint-dir the bulk ping campaigns journal every completed
+// batch (and every finished experiment report) to dir/campaign.ckpt; a
+// later invocation with -resume replays the journal and continues,
+// producing byte-identical matrices and platform stats to an uninterrupted
+// run. The first SIGINT drains in-flight batches, flushes the checkpoint,
+// and exits 130; a second SIGINT abandons in-flight rows (they are
+// re-measured on resume).
 package main
 
 import (
+	"context"
+	"encoding/binary"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime/debug"
 	"strings"
+	"syscall"
 	"time"
 
+	"geoloc/internal/atlas"
+	"geoloc/internal/checkpoint"
+	"geoloc/internal/core"
 	"geoloc/internal/experiments"
+	"geoloc/internal/faults"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
@@ -31,6 +48,15 @@ func main() {
 	trials := flag.Int("trials", 0, "random-subset trials for Fig 2a/2b (0 = library default; the paper uses 100)")
 	out := flag.String("out", "", "directory to write per-experiment report files")
 	quiet := flag.Bool("q", false, "silence progress logging (reports still go to stdout)")
+	faultsName := flag.String("faults", "none", "fault profile for the campaign: none, realistic, degraded, or hostile")
+	ckptDir := flag.String("checkpoint-dir", "", "directory for the crash-safety journal (empty disables checkpointing)")
+	resume := flag.Bool("resume", false, "resume from an existing journal in -checkpoint-dir instead of starting fresh")
+	digestPath := flag.String("digest", "", "write matrix digests and platform stats to this file after the campaign (resume-equivalence checking)")
+	syncEvery := flag.Int("sync-every", 8, "fsync the journal once per this many batches")
+	killAfter := flag.Int("kill-after-batches", 0, "exit(3) abruptly after this many batches are journaled (crash-testing hook)")
+	deadlineTargets := flag.Float64("deadline-targets-sec", 0, "watchdog: per-source simulated-clock ceiling for the target matrix phase (0 = off)")
+	deadlineReps := flag.Float64("deadline-reps-sec", 0, "watchdog: per-source simulated-clock ceiling for the representatives phase (0 = off)")
+	wallTimeout := flag.Duration("wall-timeout", 0, "watchdog: real-time safety net for the campaign (nondeterministic; 0 = off)")
 	tele := telemetry.NewCLI()
 	flag.Parse()
 	if *quiet {
@@ -50,22 +76,139 @@ func main() {
 	default:
 		log.Fatalf("unknown scale %q", *scale)
 	}
+	var prof *faults.Profile
+	switch *faultsName {
+	case "none":
+		prof = nil
+	case "realistic":
+		prof = faults.Realistic()
+	case "degraded":
+		prof = faults.Degraded()
+	case "hostile":
+		prof = faults.Hostile()
+	default:
+		log.Fatalf("unknown fault profile %q", *faultsName)
+	}
 
 	opts := experiments.DefaultOptions()
 	if *trials > 0 {
 		opts.Fig2Trials = *trials
 	}
 
+	// Two-stage cancellation: the first SIGINT stops dispatching batches
+	// but drains (and journals) the ones in flight; the second abandons
+	// in-flight rows between measurement attempts.
+	softCtx, softCancel := context.WithCancel(context.Background())
+	hardCtx, hardCancel := context.WithCancel(context.Background())
+	defer hardCancel()
+	defer softCancel()
+	sigc := make(chan os.Signal, 2)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigc
+		log.Printf("interrupt: draining in-flight batches and flushing checkpoint (interrupt again to abandon rows)")
+		softCancel()
+		<-sigc
+		log.Printf("second interrupt: abandoning in-flight rows")
+		hardCancel()
+	}()
+
 	start := time.Now()
 	log.Printf("preparing %s-scale campaign (sanitize + matrices)...", *scale)
-	ctx := experiments.NewContext(cfg, opts)
-	tele.Attach("campaign", ctx.C.Platform.Reg)
+	var c *core.Campaign
+	if prof != nil {
+		c = core.NewResilientCampaign(cfg, prof, atlas.DefaultClientConfig())
+	} else {
+		c = core.NewCampaign(cfg)
+	}
+	tele.Attach("campaign", c.Platform.Reg)
+
+	rc := core.RunConfig{
+		Resume:        *resume,
+		SyncEveryRows: *syncEvery,
+	}
+	if *ckptDir != "" {
+		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		rc.JournalPath = filepath.Join(*ckptDir, "campaign.ckpt")
+	}
+	if *deadlineTargets > 0 || *deadlineReps > 0 || *wallTimeout > 0 {
+		rc.Watchdog = &core.Watchdog{
+			PhaseDeadlineSec: map[string]float64{
+				core.PhaseTargets: *deadlineTargets,
+				core.PhaseReps:    *deadlineReps,
+			},
+			WallTimeout: *wallTimeout,
+			OnStall: func(phase string, vp, srcID int) {
+				log.Printf("watchdog: %s row %d (src %d) hit its deadline; finalized partially", phase, vp, srcID)
+			},
+		}
+	}
+	rc.Hard = hardCtx
+	if *killAfter > 0 {
+		n := 0
+		rc.OnRowJournaled = func(phase string, vp int) {
+			n++
+			if n >= *killAfter {
+				// Crash simulation: no journal sync, no cleanup, no defers.
+				os.Exit(3)
+			}
+		}
+	}
+
+	runRes, err := c.Run(softCtx, rc)
+	if err != nil {
+		log.Fatalf("campaign failed: %v", err)
+	}
+	journal := runRes.Journal
+	if runRes.Resumed {
+		log.Printf("resumed from checkpoint: %d batches restored, %d measured live",
+			runRes.RestoredRows, runRes.MeasuredRows)
+	}
+	if runRes.StalledRows > 0 {
+		log.Printf("watchdog finalized %d stalled batches with partial coverage", runRes.StalledRows)
+	}
 	log.Printf("campaign ready in %.1fs; running experiments", time.Since(start).Seconds())
+
+	if *digestPath != "" {
+		if err := os.WriteFile(*digestPath, []byte(digestReport(c)), 0o644); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if runRes.Interrupted {
+		if journal != nil {
+			if err := journal.Close(); err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("campaign interrupted; checkpoint flushed (resume with -resume)")
+		} else {
+			log.Printf("campaign interrupted (no checkpoint configured; progress lost)")
+		}
+		tele.Finish()
+		os.Exit(130)
+	}
+
+	ectx := experiments.NewContextFromCampaign(c, opts)
 
 	if *out != "" {
 		if err := os.MkdirAll(*out, 0o755); err != nil {
 			log.Fatal(err)
 		}
+	}
+
+	// Completed experiment reports journaled by a previous run replay
+	// verbatim instead of recomputing.
+	restoredReports := make(map[string]string)
+	for _, r := range runRes.Extra {
+		if r.Kind != checkpoint.KindReport {
+			continue
+		}
+		id, text, err := decodeReport(r.Payload)
+		if err != nil {
+			log.Fatalf("checkpoint: %v", err)
+		}
+		restoredReports[id] = text
 	}
 
 	// Each experiment runs under a recover barrier: a panic in one figure
@@ -74,39 +217,65 @@ func main() {
 	var failed []string
 	var summary []expSummary
 	found := false
+	interrupted := false
 	for _, e := range experiments.Registry() {
 		if *run != "" && e.ID != *run {
 			continue
 		}
 		found = true
-		t0 := time.Now()
-		before := ctx.C.Platform.Stats()
-		rep, err := runProtected(e, ctx)
-		wall := time.Since(t0).Seconds()
-		after := ctx.C.Platform.Stats()
-		probes := (after.Pings - before.Pings) + (after.Traceroutes - before.Traceroutes)
-		if err != nil {
-			log.Printf("%s FAILED: %v", e.ID, err)
-			failed = append(failed, e.ID)
-			continue
+		if softCtx.Err() != nil {
+			interrupted = true
+			break
 		}
-		summary = append(summary, expSummary{e.ID, wall, probes})
-		log.Printf("%s computed in %.1fs (%d measurements)", e.ID, wall, probes)
-		text := rep.Render()
+		var text string
+		if cached, ok := restoredReports[e.ID]; ok {
+			log.Printf("%s restored from checkpoint", e.ID)
+			text = cached
+		} else {
+			t0 := time.Now()
+			before := c.Platform.Stats()
+			rep, err := runProtected(e, ectx)
+			wall := time.Since(t0).Seconds()
+			after := c.Platform.Stats()
+			probes := (after.Pings - before.Pings) + (after.Traceroutes - before.Traceroutes)
+			if err != nil {
+				log.Printf("%s FAILED: %v", e.ID, err)
+				failed = append(failed, e.ID)
+				continue
+			}
+			summary = append(summary, expSummary{e.ID, wall, probes})
+			log.Printf("%s computed in %.1fs (%d measurements)", e.ID, wall, probes)
+			text = rep.Render()
+			if journal != nil {
+				if err := journal.Append(checkpoint.KindReport, encodeReport(e.ID, text)); err != nil {
+					log.Fatal(err)
+				}
+				if err := journal.Sync(); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
 		fmt.Println(text)
 		if *out != "" {
-			path := filepath.Join(*out, rep.ID+".txt")
+			path := filepath.Join(*out, e.ID+".txt")
 			if err := os.WriteFile(path, []byte(text), 0o644); err != nil {
 				log.Fatal(err)
 			}
-			if err := os.WriteFile(filepath.Join(*out, rep.ID+".csv"), []byte(rep.CSV()), 0o644); err != nil {
-				log.Fatal(err)
-			}
+		}
+	}
+	if journal != nil {
+		if err := journal.Close(); err != nil {
+			log.Fatal(err)
 		}
 	}
 	if !found {
 		tele.Finish()
 		log.Fatalf("unknown experiment %q", *run)
+	}
+	if interrupted {
+		log.Printf("interrupted between experiments; completed reports are checkpointed")
+		tele.Finish()
+		os.Exit(130)
 	}
 	if *out != "" && *run == "" {
 		// The per-target baseline dataset the paper calls for (§7.1).
@@ -114,7 +283,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		if err := experiments.WriteBaselineDataset(ctx, f); err != nil {
+		if err := experiments.WriteBaselineDataset(ectx, f); err != nil {
 			log.Fatal(err)
 		}
 		if err := f.Close(); err != nil {
@@ -132,6 +301,45 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("done in %.1fs", time.Since(start).Seconds())
+}
+
+// digestReport renders the campaign's result digests and usage counters —
+// the byte-equality witness the resume-equivalence CI job diffs.
+func digestReport(c *core.Campaign) string {
+	var b strings.Builder
+	td, rd := core.MatrixDigest(c.TargetRTT), core.MatrixDigest(c.RepRTT)
+	fmt.Fprintf(&b, "target_matrix %x\n", td)
+	fmt.Fprintf(&b, "rep_matrix %x\n", rd)
+	ps := c.Platform.Stats()
+	fmt.Fprintf(&b, "platform pings=%d traceroutes=%d credits=%d\n", ps.Pings, ps.Traceroutes, ps.Credits)
+	if c.Client != nil {
+		cs := c.Client.Stats()
+		fmt.Fprintf(&b, "client measurements=%d succeeded=%d retries=%d failures=%d submit=%d ratelimited=%d stalls=%d timeouts=%d offline=%d quarantines=%d skipq=%d skipshed=%d budget=%d credits=%d campaign_sec=%.6f\n",
+			cs.Measurements, cs.Succeeded, cs.Retries, cs.Failures, cs.SubmitErrors,
+			cs.RateLimited, cs.Stalls, cs.Timeouts, cs.Offline, cs.Quarantines,
+			cs.SkippedQuarantined, cs.SkippedShed, cs.BudgetDenied, cs.CreditsSpent, cs.CampaignSec)
+	}
+	return b.String()
+}
+
+// encodeReport serializes a completed experiment report for the journal.
+func encodeReport(id, text string) []byte {
+	buf := make([]byte, 0, 2+len(id)+len(text))
+	buf = binary.LittleEndian.AppendUint16(buf, uint16(len(id)))
+	buf = append(buf, id...)
+	return append(buf, text...)
+}
+
+// decodeReport parses a journaled experiment report.
+func decodeReport(payload []byte) (id, text string, err error) {
+	if len(payload) < 2 {
+		return "", "", fmt.Errorf("%w: report record too short", checkpoint.ErrCorrupt)
+	}
+	n := int(binary.LittleEndian.Uint16(payload))
+	if len(payload) < 2+n {
+		return "", "", fmt.Errorf("%w: report record id truncated", checkpoint.ErrCorrupt)
+	}
+	return string(payload[2 : 2+n]), string(payload[2+n:]), nil
 }
 
 // expSummary is one line of the per-experiment run summary.

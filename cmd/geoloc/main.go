@@ -9,11 +9,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"geoloc"
 	"geoloc/internal/experiments"
@@ -34,6 +38,9 @@ func main() {
 	flag.Parse()
 	tele.Start()
 	defer tele.Finish()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	sys, err := newSystem(*scale)
 	if err != nil {
@@ -60,6 +67,10 @@ func main() {
 	var sumErr float64
 	located := 0
 	for _, ti := range idx {
+		if ctx.Err() != nil {
+			log.Printf("interrupted after %d of %d targets", located, len(idx))
+			break
+		}
 		if ti < 0 || ti >= len(list) {
 			log.Fatalf("target %d out of range [0, %d)", ti, len(list))
 		}
@@ -79,6 +90,10 @@ func main() {
 	}
 	if located > 1 {
 		fmt.Printf("geolocated %d targets, mean error %.1f km\n", located, sumErr/float64(located))
+	}
+	if ctx.Err() != nil {
+		tele.Finish()
+		os.Exit(130)
 	}
 }
 

@@ -7,11 +7,14 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"geoloc/internal/asclass"
 	"geoloc/internal/telemetry"
@@ -36,9 +39,17 @@ func main() {
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	span := telemetry.Default().StartSpan("phase.worldgen")
 	w := world.Generate(cfg)
 	span.End()
+	if ctx.Err() != nil {
+		log.Print("interrupted; skipping inventory output")
+		tele.Finish()
+		os.Exit(130)
+	}
 
 	fmt.Printf("world: scale=%s seed=%d\n", *scale, cfg.Seed)
 	fmt.Printf("  cities: %d   ASes: %d\n", len(w.Cities), len(w.ASes))

@@ -144,6 +144,18 @@ func (p *Platform) Stats() Stats {
 	return s
 }
 
+// RestoreStats re-adds journaled usage counts after a checkpoint resume:
+// the measurements were issued (and charged) by a previous process, so the
+// resumed process's counters must carry them for its totals to match an
+// uninterrupted run.
+func (p *Platform) RestoreStats(pings, traceroutes, credits int64) {
+	p.Reg.Grouped(func() {
+		p.mPings.Add(pings)
+		p.mTraceroutes.Add(traceroutes)
+		p.mCredits.Add(credits)
+	})
+}
+
 // ResetStats zeroes the usage counters (between experiments).
 func (p *Platform) ResetStats() {
 	p.Reg.ReadConsistent(func() {

@@ -1,6 +1,7 @@
 package atlas
 
 import (
+	"context"
 	"errors"
 	"math"
 	"sync"
@@ -63,6 +64,7 @@ type Client struct {
 	skippedShed  *telemetry.Counter
 	budgetDenied *telemetry.Counter
 	creditsSpent *telemetry.Counter
+	canceled     *telemetry.Counter
 	backoffSec   *telemetry.Histogram
 }
 
@@ -126,7 +128,71 @@ var (
 	ErrShed = errors.New("atlas: source shed to fit credit budget")
 	// ErrBudgetExhausted: the credit budget cannot cover the measurement.
 	ErrBudgetExhausted = errors.New("atlas: credit budget exhausted")
+	// ErrCanceled: the context was canceled between attempts; the
+	// measurement was abandoned without spending further credits.
+	ErrCanceled = errors.New("atlas: measurement canceled")
 )
+
+// BatchStats tallies the measurement-layer activity attributable to one
+// journaled batch (one matrix row): the platform usage it caused, every
+// client resilience counter it bumped, and the final resilience state of
+// the batch's source. The checkpoint journal persists one BatchStats per
+// batch so a resumed campaign can replay the accounting without re-issuing
+// the measurements; restoring every journaled batch plus live-measuring
+// the rest reproduces an uninterrupted run's counters exactly.
+//
+// A nil *BatchStats disables recording; all batch measurements of one
+// recorder must come from a single goroutine (one row = one worker, as
+// core's campaigns are structured).
+type BatchStats struct {
+	// Platform usage (atlas.pings / traceroutes / credits).
+	Pings, Traceroutes, Credits int64
+	// Client resilience counters, mirroring ClientStats field for field.
+	Measurements, Succeeded, Retries, Failures                 int64
+	SubmitErrors, RateLimited, Stalls, Timeouts, Offline       int64
+	Quarantines, SkippedQuarantined, SkippedShed, BudgetDenied int64
+	CreditsSpent                                               int64
+	// Final source state after the batch: the simulated clock, the circuit
+	// breaker's consecutive-failure count, and the quarantine deadline.
+	// Absolute values, not deltas — a later batch of the same source
+	// supersedes an earlier one.
+	SrcClockUSec, SrcConsecFails, SrcQuarUntilUSec int64
+}
+
+// fields returns every BatchStats field in the fixed serialization order
+// the checkpoint row format uses. Append new fields at the end only.
+func (b *BatchStats) fields() []*int64 {
+	return []*int64{
+		&b.Pings, &b.Traceroutes, &b.Credits,
+		&b.Measurements, &b.Succeeded, &b.Retries, &b.Failures,
+		&b.SubmitErrors, &b.RateLimited, &b.Stalls, &b.Timeouts, &b.Offline,
+		&b.Quarantines, &b.SkippedQuarantined, &b.SkippedShed, &b.BudgetDenied,
+		&b.CreditsSpent,
+		&b.SrcClockUSec, &b.SrcConsecFails, &b.SrcQuarUntilUSec,
+	}
+}
+
+// NumFields is the BatchStats serialization width.
+func (b *BatchStats) NumFields() int { return len(b.fields()) }
+
+// Encode appends the fields in serialization order.
+func (b *BatchStats) Encode(dst []int64) []int64 {
+	for _, f := range b.fields() {
+		dst = append(dst, *f)
+	}
+	return dst
+}
+
+// DecodeFields fills the stats from values in serialization order. Extra
+// values are ignored (forward compatibility); missing ones stay zero.
+func (b *BatchStats) DecodeFields(vals []int64) {
+	for i, f := range b.fields() {
+		if i >= len(vals) {
+			break
+		}
+		*f = vals[i]
+	}
+}
 
 // srcState is a source's private resilience state. Its clock is advanced
 // only by that source's own operations, keeping it deterministic under
@@ -173,6 +239,7 @@ func NewClient(p *Platform, prof *faults.Profile, cfg ClientConfig) *Client {
 	c.skippedShed = reg.Counter("atlas.client.skipped_shed")
 	c.budgetDenied = reg.Counter("atlas.client.budget_denied")
 	c.creditsSpent = reg.Counter("atlas.client.credits_spent")
+	c.canceled = reg.Counter("atlas.client.canceled")
 	c.backoffSec = reg.Histogram("atlas.client.backoff_sec",
 		[]float64{1, 2, 5, 10, 30, 60, 120})
 	return c
@@ -221,13 +288,19 @@ func (st *srcState) nowSec() float64 { return float64(st.clockUSec) / 1e6 }
 
 // admit performs the pre-flight checks shared by ping and traceroute;
 // callers hold st.mu. A non-nil error means the measurement must not run.
-func (c *Client) admit(st *srcState, srcID int, cost int64) error {
+func (c *Client) admit(st *srcState, srcID int, cost int64, rec *BatchStats) error {
 	if c.isShed(srcID) {
 		c.skippedShed.Add(1)
+		if rec != nil {
+			rec.SkippedShed++
+		}
 		return ErrShed
 	}
 	if st.clockUSec < st.quarUntilUSc {
 		c.skippedQuar.Add(1)
+		if rec != nil {
+			rec.SkippedQuarantined++
+		}
 		tick := c.Cfg.QuarantineTickSec
 		if tick <= 0 {
 			tick = 1
@@ -237,6 +310,9 @@ func (c *Client) admit(st *srcState, srcID int, cost int64) error {
 	}
 	if c.Cfg.CreditBudget > 0 && c.creditsSpent.Value()+cost > c.Cfg.CreditBudget {
 		c.budgetDenied.Add(1)
+		if rec != nil {
+			rec.BudgetDenied++
+		}
 		return ErrBudgetExhausted
 	}
 	return nil
@@ -244,13 +320,27 @@ func (c *Client) admit(st *srcState, srcID int, cost int64) error {
 
 // noteFailure records a probe-side failure against the circuit breaker;
 // callers hold st.mu.
-func (c *Client) noteFailure(st *srcState) {
+func (c *Client) noteFailure(st *srcState, rec *BatchStats) {
 	st.consecFails++
 	if c.Cfg.BreakerThreshold > 0 && st.consecFails >= c.Cfg.BreakerThreshold {
 		st.quarUntilUSc = st.clockUSec + int64(c.Cfg.QuarantineSec*1e6)
 		st.consecFails = 0
 		c.quarantines.Add(1)
+		if rec != nil {
+			rec.Quarantines++
+		}
 	}
+}
+
+// finishSrc snapshots the source's resilience state into the recorder;
+// callers hold st.mu. Absolute values: the last batch of a source wins.
+func finishSrc(rec *BatchStats, st *srcState) {
+	if rec == nil {
+		return
+	}
+	rec.SrcClockUSec = st.clockUSec
+	rec.SrcConsecFails = int64(st.consecFails)
+	rec.SrcQuarUntilUSec = st.quarUntilUSc
 }
 
 // backoff waits out retry attempt `attempt` (1-based) on the source
@@ -295,13 +385,26 @@ func (c *Client) maxAttempts() int {
 
 // Ping runs one resilient ping measurement from src to dst.
 func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
+	return c.PingBatch(context.Background(), src, dst, salt, nil)
+}
+
+// PingBatch is Ping with cancellation and batch accounting: the context is
+// checked between attempts (retries, backoff waits and circuit-breaker
+// probes abandon the measurement with ErrCanceled once it is canceled),
+// and when rec is non-nil every counter bump and the source's final
+// resilience state are mirrored into it for checkpoint journaling.
+func (c *Client) PingBatch(ctx context.Context, src, dst *world.Host, salt uint64, rec *BatchStats) PingOutcome {
 	c.measurements.Add(1)
+	if rec != nil {
+		rec.Measurements++
+	}
 	st := c.state(src.ID)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer finishSrc(rec, st)
 
 	pingCost := int64(c.P.Sim.Cfg.PingPackets) * CreditsPerPingPacket
-	if err := c.admit(st, src.ID, pingCost); err != nil {
+	if err := c.admit(st, src.ID, pingCost, rec); err != nil {
 		return PingOutcome{Err: err}
 	}
 	pacing := float64(c.P.Sim.Cfg.PingPackets) / c.P.ProbePPS(src)
@@ -311,8 +414,15 @@ func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if ctx.Err() != nil {
+			c.canceled.Add(1)
+			return PingOutcome{Attempts: attempts, Err: ErrCanceled}
+		}
 		if attempt > 0 {
 			c.retries.Add(1)
+			if rec != nil {
+				rec.Retries++
+			}
 			c.backoff(st, src, dst, salt, attempt, lastErr == ErrRateLimited)
 		}
 		attempts++
@@ -320,25 +430,40 @@ func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
 		switch c.F.Submit(seed, srcA, dstA, salt, attempt) {
 		case faults.SubmitError:
 			c.submitErrors.Add(1)
+			if rec != nil {
+				rec.SubmitErrors++
+			}
 			lastErr = ErrSubmitFailed
 			continue
 		case faults.SubmitRateLimited:
 			c.rateLimited.Add(1)
+			if rec != nil {
+				rec.RateLimited++
+			}
 			lastErr = ErrRateLimited
 			continue
 		}
 		if stall := c.F.StallSec(seed, srcA, dstA, salt, attempt); stall > 0 {
 			c.stalls.Add(1)
+			if rec != nil {
+				rec.Stalls++
+			}
 			st.advance(stall)
 		}
 		if c.F.HostDown(seed, srcA, st.nowSec()) {
 			c.offline.Add(1)
+			if rec != nil {
+				rec.Offline++
+			}
 			lastErr = ErrOffline
-			c.noteFailure(st)
+			c.noteFailure(st, rec)
 			continue
 		}
 		if c.F.HostDown(seed, dstA, st.nowSec()) {
 			c.offline.Add(1)
+			if rec != nil {
+				rec.Offline++
+			}
 			lastErr = ErrOffline
 			continue
 		}
@@ -346,21 +471,35 @@ func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
 		st.advance(pacing)
 		rtt, ok := c.P.Ping(src, dst, attemptSalt(salt, attempt))
 		c.creditsSpent.Add(pingCost)
+		if rec != nil {
+			rec.Pings++
+			rec.Credits += pingCost
+			rec.CreditsSpent += pingCost
+		}
 		if !ok {
 			lastErr = ErrUnresponsive
 			continue
 		}
 		if c.Cfg.TimeoutMs > 0 && rtt > c.Cfg.TimeoutMs {
 			c.timeouts.Add(1)
+			if rec != nil {
+				rec.Timeouts++
+			}
 			lastErr = ErrTimeout
-			c.noteFailure(st)
+			c.noteFailure(st, rec)
 			continue
 		}
 		st.consecFails = 0
 		c.succeeded.Add(1)
+		if rec != nil {
+			rec.Succeeded++
+		}
 		return PingOutcome{RTTMs: rtt, OK: true, Attempts: attempts}
 	}
 	c.failures.Add(1)
+	if rec != nil {
+		rec.Failures++
+	}
 	return PingOutcome{Attempts: attempts, Err: lastErr}
 }
 
@@ -368,12 +507,22 @@ func (c *Client) Ping(src, dst *world.Host, salt uint64) PingOutcome {
 // trace counts as a failure and is retried; the last (possibly partial)
 // trace is returned either way so callers can salvage surviving hops.
 func (c *Client) Traceroute(src, dst *world.Host, salt uint64) TraceOutcome {
+	return c.TracerouteBatch(context.Background(), src, dst, salt, nil)
+}
+
+// TracerouteBatch is Traceroute with cancellation between attempts and
+// batch accounting (see PingBatch).
+func (c *Client) TracerouteBatch(ctx context.Context, src, dst *world.Host, salt uint64, rec *BatchStats) TraceOutcome {
 	c.measurements.Add(1)
+	if rec != nil {
+		rec.Measurements++
+	}
 	st := c.state(src.ID)
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	defer finishSrc(rec, st)
 
-	if err := c.admit(st, src.ID, CreditsPerTraceroute); err != nil {
+	if err := c.admit(st, src.ID, CreditsPerTraceroute, rec); err != nil {
 		return TraceOutcome{Err: err}
 	}
 	pacing := float64(tracePacketEquiv) / c.P.ProbePPS(src)
@@ -384,8 +533,15 @@ func (c *Client) Traceroute(src, dst *world.Host, salt uint64) TraceOutcome {
 	var lastErr error
 	attempts := 0
 	for attempt := 0; attempt < c.maxAttempts(); attempt++ {
+		if ctx.Err() != nil {
+			c.canceled.Add(1)
+			return TraceOutcome{Trace: last, Attempts: attempts, Err: ErrCanceled}
+		}
 		if attempt > 0 {
 			c.retries.Add(1)
+			if rec != nil {
+				rec.Retries++
+			}
 			c.backoff(st, src, dst, salt, attempt, lastErr == ErrRateLimited)
 		}
 		attempts++
@@ -393,27 +549,44 @@ func (c *Client) Traceroute(src, dst *world.Host, salt uint64) TraceOutcome {
 		switch c.F.Submit(seed, srcA, dstA, salt, attempt) {
 		case faults.SubmitError:
 			c.submitErrors.Add(1)
+			if rec != nil {
+				rec.SubmitErrors++
+			}
 			lastErr = ErrSubmitFailed
 			continue
 		case faults.SubmitRateLimited:
 			c.rateLimited.Add(1)
+			if rec != nil {
+				rec.RateLimited++
+			}
 			lastErr = ErrRateLimited
 			continue
 		}
 		if stall := c.F.StallSec(seed, srcA, dstA, salt, attempt); stall > 0 {
 			c.stalls.Add(1)
+			if rec != nil {
+				rec.Stalls++
+			}
 			st.advance(stall)
 		}
 		if c.F.HostDown(seed, srcA, st.nowSec()) {
 			c.offline.Add(1)
+			if rec != nil {
+				rec.Offline++
+			}
 			lastErr = ErrOffline
-			c.noteFailure(st)
+			c.noteFailure(st, rec)
 			continue
 		}
 
 		st.advance(pacing)
 		tr := c.P.Traceroute(src, dst, attemptSalt(salt, attempt))
 		c.creditsSpent.Add(CreditsPerTraceroute)
+		if rec != nil {
+			rec.Traceroutes++
+			rec.Credits += CreditsPerTraceroute
+			rec.CreditsSpent += CreditsPerTraceroute
+		}
 		last = tr
 		if tr.Truncated || (!tr.DstResponded && c.F.Enabled()) {
 			lastErr = ErrUnresponsive
@@ -421,10 +594,46 @@ func (c *Client) Traceroute(src, dst *world.Host, salt uint64) TraceOutcome {
 		}
 		st.consecFails = 0
 		c.succeeded.Add(1)
+		if rec != nil {
+			rec.Succeeded++
+		}
 		return TraceOutcome{Trace: tr, OK: true, Attempts: attempts}
 	}
 	c.failures.Add(1)
+	if rec != nil {
+		rec.Failures++
+	}
 	return TraceOutcome{Trace: last, Attempts: attempts, Err: lastErr}
+}
+
+// RestoreBatch replays the accounting of one journaled batch into the
+// client after a resume: the resilience counters are re-added and the
+// batch source's state (simulated clock, breaker count, quarantine
+// deadline) is fast-forwarded to its journaled end state. Combined with
+// live measurement of the remaining batches this reproduces an
+// uninterrupted run's ClientStats exactly.
+func (c *Client) RestoreBatch(srcID int, b *BatchStats) {
+	c.measurements.Add(b.Measurements)
+	c.succeeded.Add(b.Succeeded)
+	c.retries.Add(b.Retries)
+	c.failures.Add(b.Failures)
+	c.submitErrors.Add(b.SubmitErrors)
+	c.rateLimited.Add(b.RateLimited)
+	c.stalls.Add(b.Stalls)
+	c.timeouts.Add(b.Timeouts)
+	c.offline.Add(b.Offline)
+	c.quarantines.Add(b.Quarantines)
+	c.skippedQuar.Add(b.SkippedQuarantined)
+	c.skippedShed.Add(b.SkippedShed)
+	c.budgetDenied.Add(b.BudgetDenied)
+	c.creditsSpent.Add(b.CreditsSpent)
+
+	st := c.state(srcID)
+	st.mu.Lock()
+	st.clockUSec = b.SrcClockUSec
+	st.consecFails = int(b.SrcConsecFails)
+	st.quarUntilUSc = b.SrcQuarUntilUSec
+	st.mu.Unlock()
 }
 
 // EnforceBudget plans a campaign of costPerSrc credits per source into
@@ -485,6 +694,8 @@ type ClientStats struct {
 	// Quarantines counts circuit-breaker trips; SkippedQuarantined and
 	// SkippedShed count measurements refused locally.
 	Quarantines, SkippedQuarantined, SkippedShed, BudgetDenied int64
+	// Canceled counts measurements abandoned by context cancellation.
+	Canceled int64
 	// ShedSources is how many sources budget enforcement shed.
 	ShedSources int64
 	// CreditsSpent is the credits this client charged to the platform.
@@ -511,6 +722,7 @@ func (c *Client) Stats() ClientStats {
 		SkippedQuarantined: c.skippedQuar.Value(),
 		SkippedShed:        c.skippedShed.Value(),
 		BudgetDenied:       c.budgetDenied.Value(),
+		Canceled:           c.canceled.Value(),
 		CreditsSpent:       c.creditsSpent.Value(),
 	}
 	c.mu.Lock()

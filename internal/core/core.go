@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -130,6 +131,21 @@ func newCampaign(w *world.World, sim *netsim.Sim, p *atlas.Platform) *Campaign {
 	return c
 }
 
+// FaultProfile returns the fault profile the campaign's substrate injects:
+// the simulator's profile when one is attached, else the resilient
+// client's, else nil (a fault-free campaign). Consumers that model
+// auxiliary-service failures (mapping, web) key off the same profile so
+// one knob degrades the whole pipeline coherently.
+func (c *Campaign) FaultProfile() *faults.Profile {
+	if c.Sim != nil && c.Sim.Faults != nil {
+		return c.Sim.Faults
+	}
+	if c.Client != nil {
+		return c.Client.F
+	}
+	return nil
+}
+
 // VPIndex returns the matrix row of a host ID, or -1 when the host is not a
 // vantage point.
 func (c *Campaign) VPIndex(hostID int) int {
@@ -170,13 +186,88 @@ func (c *Campaign) BuildMatrices() {
 
 // ping issues one campaign ping through the resilient client when one is
 // attached, through the raw platform otherwise. The two paths are
-// bit-identical when the client's fault profile is disabled.
-func (c *Campaign) ping(src, dst *world.Host, salt uint64) (float64, bool) {
+// bit-identical when the client's fault profile is disabled. The context
+// cancels between attempts (client path only — raw platform pings are a
+// single synchronous simulator call); a non-nil rec accumulates the batch
+// accounting the checkpoint journal persists with each row.
+func (c *Campaign) ping(ctx context.Context, src, dst *world.Host, salt uint64, rec *atlas.BatchStats) (float64, bool) {
 	if c.Client != nil {
-		out := c.Client.Ping(src, dst, salt)
+		out := c.Client.PingBatch(ctx, src, dst, salt, rec)
 		return out.RTTMs, out.OK
 	}
-	return c.Platform.Ping(src, dst, salt)
+	rtt, ok := c.Platform.Ping(src, dst, salt)
+	if rec != nil {
+		rec.Pings++
+		rec.Credits += int64(c.Sim.Cfg.PingPackets) * atlas.CreditsPerPingPacket
+	}
+	return rtt, ok
+}
+
+// measureTargetRow fills row vp of the target matrix: one batch, one
+// source. deadlineSec is the watchdog's absolute simulated-clock ceiling
+// for the phase (0 disables); when the row's own source clock crosses it
+// the row stops where it is — the remaining cells stay Unresponsive, which
+// every downstream consumer (CBG included) already treats as a hole — and
+// the row reports itself stalled. The check reads the source clock from
+// rec (maintained by the client after every measurement), so it is a pure
+// function of the row's own deterministic operation sequence: bit-identical
+// regardless of scheduling, unlike a wall-clock watchdog.
+func (c *Campaign) measureTargetRow(ctx context.Context, m *cbg.Matrix, vp int, rec *atlas.BatchStats, deadlineSec float64) (stalled bool) {
+	src := c.VPs[vp]
+	for t, dst := range c.Targets {
+		if deadlineSec > 0 && rec != nil && float64(rec.SrcClockUSec) > deadlineSec*1e6 {
+			return true
+		}
+		if src.ID == dst.ID {
+			continue // a target is never its own vantage point
+		}
+		if rtt, ok := c.ping(ctx, src, dst, saltTargetPing, rec); ok {
+			m.RTT[vp][t] = float32(rtt)
+		}
+	}
+	return false
+}
+
+// measureRepRow fills row vp of the representatives matrix (median of the
+// responsive /24-representative RTTs per target); semantics as
+// measureTargetRow.
+func (c *Campaign) measureRepRow(ctx context.Context, m *cbg.Matrix, vp int, reps [][]*world.Host, rec *atlas.BatchStats, deadlineSec float64) (stalled bool) {
+	src := c.VPs[vp]
+	var rtts [3]float64
+	for t := range c.Targets {
+		if deadlineSec > 0 && rec != nil && float64(rec.SrcClockUSec) > deadlineSec*1e6 {
+			return true
+		}
+		if src.ID == c.Targets[t].ID {
+			continue
+		}
+		n := 0
+		for r, rep := range reps[t] {
+			if rtt, ok := c.ping(ctx, src, rep, saltRepPing+uint64(r), rec); ok {
+				rtts[n] = rtt
+				n++
+			}
+		}
+		if n == 0 {
+			continue
+		}
+		m.RTT[vp][t] = float32(median3(rtts[:n]))
+	}
+	return false
+}
+
+// repHosts resolves every target's /24 representatives to hosts, indexed
+// by target.
+func (c *Campaign) repHosts() [][]*world.Host {
+	reps := make([][]*world.Host, len(c.Targets))
+	for t, target := range c.Targets {
+		ids := c.Hitlist.Reps(target.ID)
+		reps[t] = make([]*world.Host, len(ids))
+		for i, id := range ids {
+			reps[t][i] = c.W.Host(id)
+		}
+	}
+	return reps
 }
 
 // BuildTargetMatrix fills TargetRTT (idempotent).
@@ -184,19 +275,12 @@ func (c *Campaign) BuildTargetMatrix() {
 	if c.TargetRTT != nil {
 		return
 	}
-	defer telemetry.Default().StartSpan("phase.matrix.targets").End()
+	defer telemetry.Default().StartSpan("phase." + PhaseTargets).End()
 	locs := vpLocations(c.VPs)
 	m := cbg.NewMatrix(locs, len(c.Targets))
+	ctx := context.Background()
 	c.parallelRows(func(vp int) {
-		src := c.VPs[vp]
-		for t, dst := range c.Targets {
-			if src.ID == dst.ID {
-				continue // a target is never its own vantage point
-			}
-			if rtt, ok := c.ping(src, dst, saltTargetPing); ok {
-				m.RTT[vp][t] = float32(rtt)
-			}
-		}
+		c.measureTargetRow(ctx, m, vp, nil, 0)
 	})
 	c.TargetRTT = m
 }
@@ -208,36 +292,13 @@ func (c *Campaign) BuildRepMatrix() {
 	if c.RepRTT != nil {
 		return
 	}
-	defer telemetry.Default().StartSpan("phase.matrix.reps").End()
+	defer telemetry.Default().StartSpan("phase." + PhaseReps).End()
 	locs := vpLocations(c.VPs)
 	m := cbg.NewMatrix(locs, len(c.Targets))
-	reps := make([][]*world.Host, len(c.Targets))
-	for t, target := range c.Targets {
-		ids := c.Hitlist.Reps(target.ID)
-		reps[t] = make([]*world.Host, len(ids))
-		for i, id := range ids {
-			reps[t][i] = c.W.Host(id)
-		}
-	}
+	reps := c.repHosts()
+	ctx := context.Background()
 	c.parallelRows(func(vp int) {
-		src := c.VPs[vp]
-		var rtts [3]float64
-		for t := range c.Targets {
-			if src.ID == c.Targets[t].ID {
-				continue
-			}
-			n := 0
-			for r, rep := range reps[t] {
-				if rtt, ok := c.ping(src, rep, saltRepPing+uint64(r)); ok {
-					rtts[n] = rtt
-					n++
-				}
-			}
-			if n == 0 {
-				continue
-			}
-			m.RTT[vp][t] = float32(median3(rtts[:n]))
-		}
+		c.measureRepRow(ctx, m, vp, reps, nil, 0)
 	})
 	c.RepRTT = m
 }

@@ -1,0 +1,422 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"geoloc/internal/atlas"
+	"geoloc/internal/checkpoint"
+	"geoloc/internal/faults"
+	"geoloc/internal/world"
+)
+
+// tinyCampaign builds a fresh campaign under the named profile ("" = raw
+// platform, no client).
+func tinyCampaign(profile string) *Campaign {
+	cfg := world.TinyConfig()
+	switch profile {
+	case "":
+		return NewCampaign(cfg)
+	case "none":
+		return NewResilientCampaign(cfg, faults.None(), atlas.DefaultClientConfig())
+	case "realistic":
+		return NewResilientCampaign(cfg, faults.Realistic(), atlas.DefaultClientConfig())
+	}
+	panic("unknown profile " + profile)
+}
+
+// digests returns the two matrix digests of a completed campaign.
+func digests(c *Campaign) (t, r [32]byte) {
+	return MatrixDigest(c.TargetRTT), MatrixDigest(c.RepRTT)
+}
+
+// TestRunMatchesBuildMatrices: Run with no journal must be bit-identical
+// to the original BuildMatrices path, for the raw platform and for
+// resilient campaigns with and without faults.
+func TestRunMatchesBuildMatrices(t *testing.T) {
+	for _, profile := range []string{"", "none", "realistic"} {
+		ref := tinyCampaign(profile)
+		ref.BuildMatrices()
+
+		c := tinyCampaign(profile)
+		res, err := c.Run(context.Background(), RunConfig{})
+		if err != nil {
+			t.Fatalf("%q: Run: %v", profile, err)
+		}
+		if res.Interrupted || res.Resumed || res.RestoredRows != 0 {
+			t.Fatalf("%q: unexpected result %+v", profile, res)
+		}
+		rt, rr := digests(ref)
+		ct, cr := digests(c)
+		if rt != ct || rr != cr {
+			t.Fatalf("%q: Run digests differ from BuildMatrices", profile)
+		}
+		if ref.Platform.Stats() != c.Platform.Stats() {
+			t.Fatalf("%q: platform stats differ: %+v vs %+v", profile, ref.Platform.Stats(), c.Platform.Stats())
+		}
+		if profile != "" && ref.Client.Stats() != c.Client.Stats() {
+			t.Fatalf("%q: client stats differ:\n%+v\n%+v", profile, ref.Client.Stats(), c.Client.Stats())
+		}
+	}
+}
+
+// killAndResume runs a journaled campaign, soft-cancels after kill rows
+// have been journaled, then resumes in a fresh campaign and returns it.
+func killAndResume(t *testing.T, profile, journal string, kill int) (*Campaign, *RunResult) {
+	t.Helper()
+	soft, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	c1 := tinyCampaign(profile)
+	res1, err := c1.Run(soft, RunConfig{
+		JournalPath:   journal,
+		SyncEveryRows: 4,
+		OnRowJournaled: func(string, int) {
+			n++
+			if n >= kill {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("killed run: %v", err)
+	}
+	if !res1.Interrupted {
+		t.Fatalf("run with kill after %d rows was not interrupted", kill)
+	}
+	if err := res1.Journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	c2 := tinyCampaign(profile)
+	res2, err := c2.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatalf("resumed run: %v", err)
+	}
+	if !res2.Resumed || res2.RestoredRows == 0 {
+		t.Fatalf("resume restored nothing: %+v", res2)
+	}
+	if res2.Interrupted {
+		t.Fatal("resumed run interrupted")
+	}
+	if err := res2.Journal.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return c2, res2
+}
+
+// TestKillResumeBitIdentical is the tentpole acceptance test: a campaign
+// killed after k journaled batches and resumed in a fresh process must
+// produce byte-identical matrices AND identical platform/client stats to
+// an uninterrupted run — under the none and realistic profiles alike.
+func TestKillResumeBitIdentical(t *testing.T) {
+	for _, profile := range []string{"none", "realistic"} {
+		ref := tinyCampaign(profile)
+		ref.BuildMatrices()
+		refT, refR := digests(ref)
+
+		for _, kill := range []int{1, 7, 150} {
+			journal := filepath.Join(t.TempDir(), "c.ckpt")
+			c2, res2 := killAndResume(t, profile, journal, kill)
+			gotT, gotR := digests(c2)
+			if gotT != refT || gotR != refR {
+				t.Fatalf("%s/kill=%d: resumed digests differ from uninterrupted run", profile, kill)
+			}
+			if ref.Platform.Stats() != c2.Platform.Stats() {
+				t.Fatalf("%s/kill=%d: platform stats differ:\n%+v\n%+v",
+					profile, kill, ref.Platform.Stats(), c2.Platform.Stats())
+			}
+			if ref.Client.Stats() != c2.Client.Stats() {
+				t.Fatalf("%s/kill=%d: client stats differ:\n%+v\n%+v",
+					profile, kill, ref.Client.Stats(), c2.Client.Stats())
+			}
+			if res2.RestoredRows+res2.MeasuredRows != 2*len(c2.VPs) {
+				t.Fatalf("%s/kill=%d: restored %d + measured %d != %d rows",
+					profile, kill, res2.RestoredRows, res2.MeasuredRows, 2*len(c2.VPs))
+			}
+		}
+	}
+}
+
+// TestHardCancelRowsNeverJournaled: rows abandoned by the hard context are
+// not journaled, and the resumed run re-measures them to the same result.
+func TestHardCancelRowsNeverJournaled(t *testing.T) {
+	ref := tinyCampaign("realistic")
+	ref.BuildMatrices()
+	refT, refR := digests(ref)
+
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	soft, softCancel := context.WithCancel(context.Background())
+	hard, hardCancel := context.WithCancel(context.Background())
+	defer softCancel()
+	n := 0
+	c1 := tinyCampaign("realistic")
+	res1, err := c1.Run(soft, RunConfig{
+		JournalPath:   journal,
+		SyncEveryRows: 1,
+		Hard:          hard,
+		OnRowJournaled: func(string, int) {
+			n++
+			if n == 5 {
+				softCancel()
+				hardCancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("hard-canceled run: %v", err)
+	}
+	if !res1.Interrupted {
+		t.Fatal("hard-canceled run not marked interrupted")
+	}
+	res1.Journal.Close()
+
+	// Every journaled row must decode as a complete, well-formed batch.
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, recs, _, _, err := checkpoint.Decode(data)
+	if err != nil {
+		t.Fatalf("journal after hard cancel: %v", err)
+	}
+	for _, r := range recs {
+		if r.Kind != checkpoint.KindRow {
+			t.Fatalf("unexpected record kind %d in interrupted journal", r.Kind)
+		}
+	}
+
+	c2 := tinyCampaign("realistic")
+	res2, err := c2.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatalf("resume after hard cancel: %v", err)
+	}
+	res2.Journal.Close()
+	gotT, gotR := digests(c2)
+	if gotT != refT || gotR != refR {
+		t.Fatal("resume after hard cancel diverged from uninterrupted run")
+	}
+	if ref.Client.Stats() != c2.Client.Stats() {
+		t.Fatalf("client stats differ after hard-cancel resume:\n%+v\n%+v", ref.Client.Stats(), c2.Client.Stats())
+	}
+}
+
+// TestResumeRejectsMismatchedCampaign: a journal must never be replayed
+// into a campaign with a different seed or fault profile.
+func TestResumeRejectsMismatchedCampaign(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	killAndResume(t, "realistic", journal, 3) // leaves a valid realistic journal
+
+	// Different profile.
+	other := tinyCampaign("none")
+	if _, err := other.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true}); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("profile mismatch: err %v, want ErrMismatch", err)
+	}
+	// Different seed.
+	cfg := world.TinyConfig()
+	cfg.Seed++
+	seeded := NewResilientCampaign(cfg, faults.Realistic(), atlas.DefaultClientConfig())
+	if _, err := seeded.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true}); !errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("seed mismatch: err %v, want ErrMismatch", err)
+	}
+}
+
+// TestResumeRejectsCorruptJournal: damage at rest is an error, not a
+// silent partial resume.
+func TestResumeRejectsCorruptJournal(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	killAndResume(t, "none", journal, 10)
+	data, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/3] ^= 0xFF // mid-file, far from the final frame
+	if err := os.WriteFile(journal, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	c := tinyCampaign("none")
+	_, err = c.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true})
+	if err == nil {
+		t.Fatal("corrupt journal resumed without error")
+	}
+	if !errors.Is(err, checkpoint.ErrCorrupt) && !errors.Is(err, checkpoint.ErrNoHeader) &&
+		!errors.Is(err, checkpoint.ErrMismatch) {
+		t.Fatalf("corrupt journal: unnamed error %v", err)
+	}
+}
+
+// TestWatchdogDeterministicStalls: simulated-clock deadlines stall the
+// same rows at the same cells in every run, keep coverage partial rather
+// than zero, and never bind a raw-platform campaign (which has no
+// per-source clock).
+func TestWatchdogDeterministicStalls(t *testing.T) {
+	wd := &Watchdog{PhaseDeadlineSec: map[string]float64{PhaseTargets: 1}}
+
+	run := func() (*Campaign, *RunResult) {
+		c := tinyCampaign("realistic")
+		res, err := c.Run(context.Background(), RunConfig{Watchdog: wd})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c, res
+	}
+	c1, res1 := run()
+	if res1.StalledRows == 0 {
+		t.Fatal("1s target-phase deadline stalled no rows")
+	}
+	if res1.Interrupted {
+		t.Fatal("watchdog stalls must finalize rows, not interrupt the run")
+	}
+	// Stalled rows keep their measured prefix: the matrix must still hold
+	// some responsive cells.
+	responsive := 0
+	for _, row := range c1.TargetRTT.RTT {
+		for _, v := range row {
+			if v == v && v >= 0 {
+				responsive++
+			}
+		}
+	}
+	if responsive == 0 {
+		t.Fatal("watchdog zeroed the matrix instead of finalizing partial rows")
+	}
+
+	c2, res2 := run()
+	d1t, d1r := digests(c1)
+	d2t, d2r := digests(c2)
+	if d1t != d2t || d1r != d2r || res1.StalledRows != res2.StalledRows {
+		t.Fatal("watchdog stalls are not deterministic across runs")
+	}
+
+	// And the deadline must change the result relative to no watchdog.
+	ref := tinyCampaign("realistic")
+	ref.BuildMatrices()
+	rt, _ := digests(ref)
+	if rt == d1t {
+		t.Fatal("deadline had no effect on the target matrix")
+	}
+
+	// Raw platform: no source clock, deadline never binds.
+	raw := tinyCampaign("")
+	rawRes, err := raw.Run(context.Background(), RunConfig{Watchdog: wd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rawRes.StalledRows != 0 {
+		t.Fatalf("raw campaign stalled %d rows; deadlines require a client clock", rawRes.StalledRows)
+	}
+}
+
+// TestKillResumeWithWatchdog: stalled rows journal and resume like any
+// other row — the stall pattern is part of the deterministic result.
+func TestKillResumeWithWatchdog(t *testing.T) {
+	wd := &Watchdog{PhaseDeadlineSec: map[string]float64{PhaseTargets: 1, PhaseReps: 1}}
+	ref := tinyCampaign("realistic")
+	refRes, err := ref.Run(context.Background(), RunConfig{Watchdog: wd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	refT, refR := digests(ref)
+
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	soft, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	n := 0
+	c1 := tinyCampaign("realistic")
+	res1, err := c1.Run(soft, RunConfig{
+		JournalPath: journal, SyncEveryRows: 2, Watchdog: wd,
+		OnRowJournaled: func(string, int) {
+			if n++; n == 20 {
+				cancel()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res1.Interrupted {
+		t.Fatal("not interrupted")
+	}
+	res1.Journal.Close()
+
+	c2 := tinyCampaign("realistic")
+	res2, err := c2.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true, Watchdog: wd})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Journal.Close()
+	gotT, gotR := digests(c2)
+	if gotT != refT || gotR != refR {
+		t.Fatal("kill-resume under watchdog diverged")
+	}
+	if res2.StalledRows+0 != refRes.StalledRows {
+		t.Fatalf("stalled rows %d after resume, want %d", res2.StalledRows, refRes.StalledRows)
+	}
+}
+
+// TestPhaseDigestSealing: a completed phase's digest is journaled, and a
+// resume that cannot reproduce it fails with ErrMismatch instead of
+// continuing from wrong data.
+func TestPhaseDigestSealing(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	c := tinyCampaign("none")
+	res, err := c.Run(context.Background(), RunConfig{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Journal.Close()
+
+	// A full journal replays cleanly: everything restores, nothing measures.
+	c2 := tinyCampaign("none")
+	res2, err := c2.Run(context.Background(), RunConfig{JournalPath: journal, Resume: true})
+	if err != nil {
+		t.Fatalf("replaying a sealed journal: %v", err)
+	}
+	res2.Journal.Close()
+	if res2.MeasuredRows != 0 || res2.RestoredRows != 2*len(c2.VPs) {
+		t.Fatalf("sealed journal replay: %+v", res2)
+	}
+	if MatrixDigest(c2.TargetRTT) != MatrixDigest(c.TargetRTT) {
+		t.Fatal("sealed replay diverged")
+	}
+}
+
+// TestSoftCancelBeforeStart: a context canceled before Run dispatches
+// anything yields zero rows, an interrupted result, and no error.
+func TestSoftCancelBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	c := tinyCampaign("none")
+	res, err := c.Run(ctx, RunConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Interrupted || res.MeasuredRows != 0 {
+		t.Fatalf("pre-canceled run: %+v", res)
+	}
+}
+
+// TestConfigHashSensitivity: the journal-identity hash must move when the
+// world, profile, or client tuning moves, and hold still otherwise.
+func TestConfigHashSensitivity(t *testing.T) {
+	base := tinyCampaign("realistic").ConfigHash()
+	if tinyCampaign("realistic").ConfigHash() != base {
+		t.Fatal("ConfigHash not deterministic")
+	}
+	if tinyCampaign("none").ConfigHash() == base {
+		t.Fatal("ConfigHash ignores the fault profile")
+	}
+	cfg := world.TinyConfig()
+	cfg.Seed++
+	if NewResilientCampaign(cfg, faults.Realistic(), atlas.DefaultClientConfig()).ConfigHash() == base {
+		t.Fatal("ConfigHash ignores the seed")
+	}
+	ccfg := atlas.DefaultClientConfig()
+	ccfg.MaxAttempts++
+	if NewResilientCampaign(world.TinyConfig(), faults.Realistic(), ccfg).ConfigHash() == base {
+		t.Fatal("ConfigHash ignores client tuning")
+	}
+}

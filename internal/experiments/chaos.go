@@ -9,6 +9,7 @@ import (
 	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/stats"
+	"geoloc/internal/streetlevel"
 	"geoloc/internal/world"
 )
 
@@ -40,7 +41,19 @@ type ChaosRow struct {
 	Retries, Failures, Quarantines int64
 	CreditsSpent                   int64
 	CampaignSec                    float64
+	// Street-level degradation under auxiliary-service faults, over
+	// chaosStreetTargets targets: mapping queries the service failed,
+	// stale-coordinate landmark resolutions, and how many targets still
+	// resolved via a landmark versus falling back to the CBG seed.
+	LookupFailures int64
+	StaleSites     int64
+	StreetLandmark int
+	StreetCBG      int
 }
+
+// chaosStreetTargets is how many targets each profile's street-level
+// degradation probe geolocates (capped by the world's target count).
+const chaosStreetTargets = 6
 
 // chaosCampaign runs one full resilient campaign under the profile and
 // measures it. The world config is fixed so every row measures the same
@@ -89,6 +102,26 @@ func chaosCampaign(cfg world.Config, prof *faults.Profile) ChaosRow {
 	row.Quarantines = cs.Quarantines
 	row.CreditsSpent = cs.CreditsSpent
 	row.CampaignSec = cs.CampaignSec
+
+	// Street-level probe: the three-tier technique over a handful of
+	// targets, with the mapping/web services degraded by the same profile.
+	// The point is the failure tabulation, not accuracy — the pipeline
+	// must fall back tier by tier, never error.
+	sl := streetlevel.New(c)
+	n := chaosStreetTargets
+	if n > len(c.Targets) {
+		n = len(c.Targets)
+	}
+	for t := 0; t < n; t++ {
+		res := sl.Geolocate(t)
+		if res.Method == "landmark" {
+			row.StreetLandmark++
+		} else {
+			row.StreetCBG++
+		}
+	}
+	row.LookupFailures = sl.Map.LookupFailures()
+	row.StaleSites = sl.Web.StaleSites()
 	return row
 }
 
@@ -119,7 +152,8 @@ func Chaos(ctx *Context) *Report {
 		Title:    "Pipeline degradation under injected platform faults",
 		PaperRef: "robustness extension (no paper artifact)",
 		Header: []string{"profile", "coverage", "located", "median(km)",
-			"retries", "failures", "quarantines", "credits", "campaign(h)"},
+			"retries", "failures", "quarantines", "credits", "campaign(h)",
+			"lookupfail", "stale", "street(lm/cbg)"},
 	}
 	rows := ChaosSweep(world.TinyConfig())
 	var base float64
@@ -138,6 +172,9 @@ func Chaos(ctx *Context) *Report {
 			fmt.Sprintf("%d", r.Quarantines),
 			fmt.Sprintf("%d", r.CreditsSpent),
 			fmt.Sprintf("%.1f", r.CampaignSec/3600),
+			fmt.Sprintf("%d", r.LookupFailures),
+			fmt.Sprintf("%d", r.StaleSites),
+			fmt.Sprintf("%d/%d", r.StreetLandmark, r.StreetCBG),
 		})
 		if i == 0 {
 			base = r.MedianErrKm

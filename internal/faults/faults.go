@@ -66,6 +66,19 @@ type Profile struct {
 	// normal scheduling window to return results.
 	StallProb   float64
 	StallMaxSec float64
+
+	// LookupFailProb is the probability one mapping-service query (a
+	// reverse geocode or a POI/amenity query) fails outright — timeout,
+	// 5xx, or an over-eager rate limiter. The street-level pipeline
+	// degrades to the landmarks it already has instead of erroring.
+	LookupFailProb float64
+	// StaleLandmarkProb is the probability a landmark website's advertised
+	// location is stale or mis-geolocated ("Trust, But Verify": the
+	// auxiliary data sources are themselves unreliable). A stale landmark
+	// drifts up to StaleDriftMaxKm from its true position, silently
+	// poisoning any estimate that maps the target onto it.
+	StaleLandmarkProb float64
+	StaleDriftMaxKm   float64
 }
 
 // None returns the empty profile: no injected faults, bit-identical
@@ -89,6 +102,10 @@ func Realistic() *Profile {
 		RateLimitProb:  0.02,
 		StallProb:      0.05,
 		StallMaxSec:    300,
+
+		LookupFailProb:    0.03,
+		StaleLandmarkProb: 0.03,
+		StaleDriftMaxKm:   8,
 	}
 }
 
@@ -108,6 +125,10 @@ func Degraded() *Profile {
 		RateLimitProb:  0.10,
 		StallProb:      0.15,
 		StallMaxSec:    600,
+
+		LookupFailProb:    0.10,
+		StaleLandmarkProb: 0.08,
+		StaleDriftMaxKm:   25,
 	}
 }
 
@@ -129,6 +150,10 @@ func Hostile() *Profile {
 		RateLimitProb:  0.20,
 		StallProb:      0.30,
 		StallMaxSec:    900,
+
+		LookupFailProb:    0.25,
+		StaleLandmarkProb: 0.20,
+		StaleDriftMaxKm:   75,
 	}
 }
 
@@ -149,6 +174,9 @@ func (p *Profile) Scale(k float64) *Profile {
 	s.RateLimitProb = cap1(p.RateLimitProb)
 	s.StallProb = cap1(p.StallProb)
 	s.StallMaxSec = math.Max(0, p.StallMaxSec*k)
+	s.LookupFailProb = cap1(p.LookupFailProb)
+	s.StaleLandmarkProb = cap1(p.StaleLandmarkProb)
+	s.StaleDriftMaxKm = math.Max(0, p.StaleDriftMaxKm*k)
 	s.Name = fmt.Sprintf("%s*%g", p.Name, k)
 	return &s
 }
@@ -161,7 +189,8 @@ func (p *Profile) Enabled() bool {
 	}
 	return p.PacketLoss > 0 || p.PathLossMax > 0 || p.FlapFrac > 0 ||
 		p.TraceTruncProb > 0 || p.HopLossProb > 0 ||
-		p.SubmitErrProb > 0 || p.RateLimitProb > 0 || p.StallProb > 0
+		p.SubmitErrProb > 0 || p.RateLimitProb > 0 || p.StallProb > 0 ||
+		p.LookupFailProb > 0 || p.StaleLandmarkProb > 0
 }
 
 // Label namespaces for fault draws. They are disjoint from every label
@@ -179,6 +208,10 @@ var (
 	kHopLoss   = rhash.HashString("faults/hoploss")
 	kSubmit    = rhash.HashString("faults/submit")
 	kStall     = rhash.HashString("faults/stall")
+	kLookup    = rhash.HashString("faults/maplookup")
+	kStaleSel  = rhash.HashString("faults/stalesel")
+	kStaleBrg  = rhash.HashString("faults/stalebearing")
+	kStaleDist = rhash.HashString("faults/staledist")
 )
 
 // PathLossRate returns the persistent per-path loss probability of the
@@ -280,6 +313,36 @@ func (p *Profile) Submit(seed, src, dst, salt uint64, attempt int) SubmitOutcome
 	default:
 		return SubmitOK
 	}
+}
+
+// LookupFailed reports whether the mapping-service query identified by
+// parts (a query-kind discriminator plus the query's own key material)
+// fails. Like every fault draw it is persistent: re-issuing the identical
+// query fails identically, so a pipeline cannot "retry through" a failed
+// lookup — it must degrade, as with a cached upstream error.
+func (p *Profile) LookupFailed(seed uint64, parts ...uint64) bool {
+	if p == nil || p.LookupFailProb <= 0 {
+		return false
+	}
+	all := make([]uint64, 0, len(parts)+2)
+	all = append(all, seed, kLookup)
+	all = append(all, parts...)
+	return rhash.UnitFloat(all...) < p.LookupFailProb
+}
+
+// StaleDrift returns the displacement of a stale landmark's advertised
+// coordinates: a deterministic per-site bearing and distance (up to
+// StaleDriftMaxKm), or stale=false when the site's data is current.
+func (p *Profile) StaleDrift(seed, key uint64) (bearingDeg, distKm float64, stale bool) {
+	if p == nil || p.StaleLandmarkProb <= 0 || p.StaleDriftMaxKm <= 0 {
+		return 0, 0, false
+	}
+	if rhash.UnitFloat(seed, kStaleSel, key) >= p.StaleLandmarkProb {
+		return 0, 0, false
+	}
+	return 360 * rhash.UnitFloat(seed, kStaleBrg, key),
+		p.StaleDriftMaxKm * rhash.UnitFloat(seed, kStaleDist, key),
+		true
 }
 
 // StallSec returns the extra scheduling delay (beyond the platform's

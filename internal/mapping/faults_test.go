@@ -1,0 +1,91 @@
+package mapping
+
+import (
+	"testing"
+
+	"geoloc/internal/faults"
+)
+
+// faultySvc returns a service over the shared tiny world with a heavy
+// lookup-failure profile.
+func faultySvc(prob float64) *Service {
+	s := NewService(tw)
+	s.Faults = &faults.Profile{LookupFailProb: prob}
+	return s
+}
+
+func TestLookupFailuresInjected(t *testing.T) {
+	s := faultySvc(0.3)
+	fails := 0
+	for i := 0; i < len(tw.Cities); i++ {
+		if _, ok := s.ReverseGeocode(tw.Cities[i].Loc); !ok {
+			fails++
+		}
+		if _, ok := s.POIsInZip(i, 0); !ok {
+			fails++
+		}
+	}
+	if fails == 0 {
+		t.Fatal("0.3 lookup-failure profile failed nothing")
+	}
+	if got := s.LookupFailures(); got != int64(fails) {
+		t.Fatalf("LookupFailures() = %d, observed %d", got, fails)
+	}
+}
+
+func TestLookupFailuresDeterministicAcrossInstances(t *testing.T) {
+	a, b := faultySvc(0.3), faultySvc(0.3)
+	for i := 0; i < len(tw.Cities); i++ {
+		_, okA := a.ReverseGeocode(tw.Cities[i].Loc)
+		_, okB := b.ReverseGeocode(tw.Cities[i].Loc)
+		if okA != okB {
+			t.Fatalf("city %d: instance A ok=%v, B ok=%v", i, okA, okB)
+		}
+		pA, okA := a.POIsInZip(i, 1)
+		pB, okB := b.POIsInZip(i, 1)
+		if okA != okB || len(pA) != len(pB) {
+			t.Fatalf("city %d POIs: A (ok=%v,n=%d) B (ok=%v,n=%d)", i, okA, len(pA), okB, len(pB))
+		}
+	}
+}
+
+func TestFailedLookupStaysFailed(t *testing.T) {
+	s := faultySvc(0.5)
+	for i := 0; i < len(tw.Cities); i++ {
+		_, first := s.POIsInZip(i, 0)
+		for retry := 0; retry < 3; retry++ {
+			if _, ok := s.POIsInZip(i, 0); ok != first {
+				t.Fatalf("city %d zone 0: retrying an identical failed query changed the outcome", i)
+			}
+		}
+	}
+}
+
+func TestNilFaultsNeverFail(t *testing.T) {
+	s := NewService(tw)
+	for i := 0; i < len(tw.Cities); i++ {
+		if _, ok := s.ReverseGeocode(tw.Cities[i].Loc); !ok {
+			t.Fatal("faultless service failed a reverse geocode")
+		}
+		if _, ok := s.POIsInZip(i, 0); !ok {
+			t.Fatal("faultless service failed a POI query")
+		}
+	}
+	if s.LookupFailures() != 0 {
+		t.Fatalf("faultless service counted %d failures", s.LookupFailures())
+	}
+}
+
+func TestResetStatsClearsLookupFailures(t *testing.T) {
+	s := faultySvc(0.9)
+	for i := 0; i < len(tw.Cities); i++ {
+		s.POIsInZip(i, 0)
+	}
+	if s.LookupFailures() == 0 {
+		t.Fatal("0.9 profile failed nothing")
+	}
+	s.ResetStats()
+	if s.LookupFailures() != 0 {
+		t.Fatal("ResetStats left the failure counter")
+	}
+}

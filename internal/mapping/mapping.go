@@ -10,6 +10,7 @@ import (
 	"math"
 	"sync/atomic"
 
+	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/rhash"
 	"geoloc/internal/world"
@@ -43,12 +44,24 @@ type POI struct {
 // concurrent use.
 type Service struct {
 	W *world.World
+	// Faults, when non-nil, injects mapping-service failures: with
+	// LookupFailProb each query (keyed by its own identity, so re-asking
+	// fails identically) returns ok=false. Nil injects nothing.
+	Faults *faults.Profile
 
 	reverseGeocodes atomic.Int64
 	poiQueries      atomic.Int64
+	lookupFailures  atomic.Int64
 
 	cells map[cellKey][]int // city IDs bucketed by 2-degree cell
 }
+
+// Query-kind discriminators for lookup-failure draws, so a reverse
+// geocode and a POI query with colliding key material fail independently.
+const (
+	lookupKindReverse uint64 = 1
+	lookupKindPOIs    uint64 = 2
+)
 
 type cellKey struct{ lat, lon int }
 
@@ -70,19 +83,30 @@ func (s *Service) Stats() (int64, int64) {
 	return s.reverseGeocodes.Load(), s.poiQueries.Load()
 }
 
+// LookupFailures returns how many queries the fault layer failed.
+func (s *Service) LookupFailures() int64 { return s.lookupFailures.Load() }
+
 // ResetStats zeroes the query counters.
 func (s *Service) ResetStats() {
 	s.reverseGeocodes.Store(0)
 	s.poiQueries.Store(0)
+	s.lookupFailures.Store(0)
 }
 
 // ReverseGeocode maps a point to the postal code of the nearest city zone,
-// like Nominatim: every query returns something, however rural the point.
-func (s *Service) ReverseGeocode(p geo.Point) Place {
+// like Nominatim: every successful query returns something, however rural
+// the point. ok is false when the fault layer fails the query (timeout,
+// 5xx); the failure is persistent per queried point.
+func (s *Service) ReverseGeocode(p geo.Point) (Place, bool) {
 	s.reverseGeocodes.Add(1)
+	if s.Faults.LookupFailed(s.W.Cfg.Seed, lookupKindReverse,
+		math.Float64bits(p.Lat), math.Float64bits(p.Lon)) {
+		s.lookupFailures.Add(1)
+		return Place{}, false
+	}
 	city := s.nearestCity(p)
 	zone := city.ZoneOf(p)
-	return Place{CityID: city.ID, Zone: zone, Zip: city.Zip(zone)}
+	return Place{CityID: city.ID, Zone: zone, Zip: city.Zip(zone)}, true
 }
 
 // nearestCity finds the closest city by expanding ring search over the
@@ -135,13 +159,18 @@ func maxAbs(a, b int) int {
 // POIsInZip returns every point of interest registered in the given city
 // zone (one Overpass query). POIs are generated deterministically from the
 // world seed, so repeated queries return identical results without the
-// world storing millions of POI records.
-func (s *Service) POIsInZip(cityID, zone int) []POI {
+// world storing millions of POI records. ok is false when the fault layer
+// fails the query; an out-of-range zone is a successful empty answer.
+func (s *Service) POIsInZip(cityID, zone int) ([]POI, bool) {
 	s.poiQueries.Add(1)
+	if s.Faults.LookupFailed(s.W.Cfg.Seed, lookupKindPOIs, uint64(cityID), uint64(zone)) {
+		s.lookupFailures.Add(1)
+		return nil, false
+	}
 	w := s.W
 	city := &w.Cities[cityID]
 	if zone < 0 || zone >= city.NumZones() {
-		return nil
+		return nil, true
 	}
 	cfg := w.Cfg
 
@@ -168,7 +197,7 @@ func (s *Service) POIsInZip(cityID, zone int) []POI {
 			HasWebsite: st.Bool(cfg.POIWebsiteFrac),
 		})
 	}
-	return out
+	return out, true
 }
 
 // cityRingsApprox mirrors the ring count of the world's zoning grid for

@@ -15,7 +15,10 @@ var (
 func TestReverseGeocodeInsideCity(t *testing.T) {
 	for i := 0; i < len(tw.Cities); i += 5 {
 		c := &tw.Cities[i]
-		pl := svc.ReverseGeocode(c.Loc)
+		pl, ok := svc.ReverseGeocode(c.Loc)
+		if !ok {
+			t.Fatal("faultless service failed a lookup")
+		}
 		if pl.CityID != c.ID {
 			// Another city may genuinely be closer if centres overlap; only
 			// fail when the resolved city is farther than this one.
@@ -33,7 +36,10 @@ func TestReverseGeocodeInsideCity(t *testing.T) {
 func TestReverseGeocodeAlwaysAnswers(t *testing.T) {
 	// Mid-ocean point: Nominatim-style services still return the nearest
 	// populated place.
-	pl := svc.ReverseGeocode(geo.Point{Lat: 0, Lon: -30})
+	pl, ok := svc.ReverseGeocode(geo.Point{Lat: 0, Lon: -30})
+	if !ok {
+		t.Fatal("faultless service failed a lookup")
+	}
 	if pl.CityID < 0 || pl.CityID >= len(tw.Cities) {
 		t.Fatalf("invalid city %d", pl.CityID)
 	}
@@ -75,8 +81,8 @@ func TestNearestCityIsActuallyNearest(t *testing.T) {
 }
 
 func TestPOIsDeterministic(t *testing.T) {
-	a := svc.POIsInZip(0, 1)
-	b := svc.POIsInZip(0, 1)
+	a, _ := svc.POIsInZip(0, 1)
+	b, _ := svc.POIsInZip(0, 1)
 	if len(a) != len(b) {
 		t.Fatal("nondeterministic POI count")
 	}
@@ -90,7 +96,8 @@ func TestPOIsDeterministic(t *testing.T) {
 func TestPOIsHaveCorrectZip(t *testing.T) {
 	city := &tw.Cities[1]
 	for zone := 0; zone < city.NumZones(); zone++ {
-		for _, poi := range svc.POIsInZip(city.ID, zone) {
+		pois, _ := svc.POIsInZip(city.ID, zone)
+		for _, poi := range pois {
 			if poi.Zip != city.Zip(zone) {
 				t.Fatalf("POI zip %d, want %d", poi.Zip, city.Zip(zone))
 			}
@@ -114,10 +121,12 @@ func TestPOIsScaleWithPopulation(t *testing.T) {
 		}
 	}
 	for zone := 0; zone < bigCity.NumZones(); zone++ {
-		big += len(svc.POIsInZip(bigCity.ID, zone))
+		pois, _ := svc.POIsInZip(bigCity.ID, zone)
+		big += len(pois)
 	}
 	for zone := 0; zone < smallCity.NumZones(); zone++ {
-		small += len(svc.POIsInZip(smallCity.ID, zone))
+		pois, _ := svc.POIsInZip(smallCity.ID, zone)
+		small += len(pois)
 	}
 	if big <= small {
 		t.Errorf("big city (%d POIs) should outnumber small city (%d POIs)", big, small)
@@ -128,7 +137,8 @@ func TestPOIsNearTheirZone(t *testing.T) {
 	city := &tw.Cities[0]
 	for zone := 0; zone < city.NumZones(); zone++ {
 		center := city.ZoneCenter(zone)
-		for _, poi := range svc.POIsInZip(city.ID, zone) {
+		pois, _ := svc.POIsInZip(city.ID, zone)
+		for _, poi := range pois {
 			if d := geo.Distance(poi.Loc, center); d > city.RadiusKm {
 				t.Fatalf("POI %.1f km from its zone centre", d)
 			}
@@ -137,10 +147,10 @@ func TestPOIsNearTheirZone(t *testing.T) {
 }
 
 func TestPOIsInvalidZone(t *testing.T) {
-	if pois := svc.POIsInZip(0, -1); pois != nil {
+	if pois, ok := svc.POIsInZip(0, -1); pois != nil || !ok {
 		t.Error("negative zone should yield nil")
 	}
-	if pois := svc.POIsInZip(0, 999); pois != nil {
+	if pois, ok := svc.POIsInZip(0, 999); pois != nil || !ok {
 		t.Error("out-of-range zone should yield nil")
 	}
 }
@@ -148,7 +158,8 @@ func TestPOIsInvalidZone(t *testing.T) {
 func TestPOICapRespected(t *testing.T) {
 	for i := range tw.Cities {
 		for zone := 0; zone < tw.Cities[i].NumZones(); zone++ {
-			if n := len(svc.POIsInZip(i, zone)); n > tw.Cfg.MaxPOIsPerZone {
+			pois, _ := svc.POIsInZip(i, zone)
+			if n := len(pois); n > tw.Cfg.MaxPOIsPerZone {
 				t.Fatalf("zone has %d POIs, cap is %d", n, tw.Cfg.MaxPOIsPerZone)
 			}
 		}

@@ -135,9 +135,18 @@ type Result struct {
 	// NegativeDelayFrac is the fraction of landmarks whose best D1+D2 came
 	// out negative (Fig 6a).
 	NegativeDelayFrac float64
-	// MappingQueries and WebsiteTests count the tier-2/3 service load.
+	// MappingQueries and WebsiteTests count the tier-2/3 service load;
+	// LookupFailures is how many of the mapping queries the (faulty)
+	// service failed — each one silently shrinks the landmark pool.
 	MappingQueries int
 	WebsiteTests   int
+	LookupFailures int
+	// TierCompleted is the deepest tier whose data backs the estimate: 3
+	// when a tier-3 landmark was selected, 2 for a tier-2 landmark, 1 when
+	// the technique degraded all the way back to the CBG seed. A pipeline
+	// losing its mapping service mid-sweep falls back tier by tier instead
+	// of erroring.
+	TierCompleted int
 	// TimeSeconds is the simulated wall-clock time to geolocate the target
 	// (Fig 6c).
 	TimeSeconds float64
@@ -159,12 +168,18 @@ func New(c *core.Campaign) *Pipeline {
 	return NewWithConfig(c, DefaultConfig())
 }
 
-// NewWithConfig builds a pipeline with explicit parameters.
+// NewWithConfig builds a pipeline with explicit parameters. The mapping
+// and web services inherit the campaign's fault profile, so one knob
+// degrades the measurement substrate and the auxiliary services together.
 func NewWithConfig(c *core.Campaign, cfg Config) *Pipeline {
+	m := mapping.NewService(c.W)
+	r := web.NewResolver(c.W)
+	m.Faults = c.FaultProfile()
+	r.Faults = c.FaultProfile()
 	return &Pipeline{
 		C:          c,
-		Map:        mapping.NewService(c.W),
-		Web:        web.NewResolver(c.W),
+		Map:        m,
+		Web:        r,
 		Cfg:        cfg,
 		anchorRows: c.AnchorVPIndices(),
 	}
@@ -230,11 +245,13 @@ func (p *Pipeline) Geolocate(target int) Result {
 	res.TimeSeconds += p.C.Platform.RoundSeconds(saltSL(target, 3))
 
 	// Final mapping: the landmark with the smallest usable delay, tier-3
-	// landmarks preferred, tier-2 otherwise, CBG when none.
+	// landmarks preferred, tier-2 otherwise, CBG when none — each step a
+	// graceful degradation to the best tier that completed with data.
+	res.TierCompleted = 1
 	if lm, ok := bestLandmark(res.Landmarks, 3); ok {
-		res.Estimate, res.Method = lm.Site.POILoc, "landmark"
+		res.Estimate, res.Method, res.TierCompleted = lm.Site.POILoc, "landmark", 3
 	} else if lm, ok := bestLandmark(res.Landmarks, 2); ok {
-		res.Estimate, res.Method = lm.Site.POILoc, "landmark"
+		res.Estimate, res.Method, res.TierCompleted = lm.Site.POILoc, "landmark", 2
 	}
 
 	neg := 0
@@ -323,13 +340,27 @@ func (p *Pipeline) sweep(res *Result, tier int, center geo.Point, region geo.Reg
 				continue
 			}
 			anyInside = true
-			place := p.Map.ReverseGeocode(pt)
+			place, ok := p.Map.ReverseGeocode(pt)
 			res.MappingQueries++
+			if !ok {
+				// Failed lookup: this sample point contributes nothing, but
+				// the sweep keeps walking — neighboring points usually cover
+				// the same zips.
+				res.LookupFailures++
+				continue
+			}
 			if seenZips[place.Zip] {
 				continue
 			}
 			seenZips[place.Zip] = true
-			for _, poi := range p.Map.POIsInZip(place.CityID, place.Zone) {
+			pois, ok := p.Map.POIsInZip(place.CityID, place.Zone)
+			if !ok {
+				// The zip stays marked as seen: re-asking would fail
+				// identically (the failure draw is keyed by the query).
+				res.LookupFailures++
+				continue
+			}
+			for _, poi := range pois {
 				if !poi.HasWebsite {
 					continue
 				}

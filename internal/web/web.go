@@ -14,6 +14,9 @@
 package web
 
 import (
+	"sync/atomic"
+
+	"geoloc/internal/faults"
 	"geoloc/internal/geo"
 	"geoloc/internal/ipaddr"
 	"geoloc/internal/mapping"
@@ -59,6 +62,9 @@ type Website struct {
 	Chain bool
 	// Alive reports whether DNS + wget succeed.
 	Alive bool
+	// Stale reports that POILoc is stale/mis-geolocated data injected by
+	// the fault layer (diagnostic only: a real pipeline cannot see this).
+	Stale bool
 	// Server is the host actually serving the content; for Local hosting it
 	// sits at the POI, otherwise wherever the CDN/datacenter is.
 	Server world.Host
@@ -67,9 +73,17 @@ type Website struct {
 // Resolver derives websites from POIs, deterministically per world.
 type Resolver struct {
 	W *world.World
+	// Faults, when non-nil, injects stale/mis-geolocated landmark data:
+	// with StaleLandmarkProb a site's advertised location (POILoc, the
+	// coordinates street-level estimates map targets onto) drifts up to
+	// StaleDriftMaxKm from the POI's true position. The server itself
+	// stays where it is — the data is wrong, not the machine.
+	Faults *faults.Profile
 	// cdnAS is the AS standing in for the big CDNs: the AS with the widest
 	// PoP footprint.
 	cdnAS int
+
+	staleSites atomic.Int64
 }
 
 // NewResolver builds a website resolver for the world.
@@ -135,8 +149,17 @@ func (r *Resolver) Resolve(poi mapping.POI) Website {
 		Alive:         poi.HasWebsite && st.Bool(cfg.SiteAliveProb),
 	}
 	site.Server = r.serverFor(poi, hosting, st)
+	if brg, dist, stale := r.Faults.StaleDrift(cfg.Seed, poi.Key); stale {
+		site.POILoc = geo.Destination(poi.Loc, brg, dist)
+		site.Stale = true
+		r.staleSites.Add(1)
+	}
 	return site
 }
+
+// StaleSites returns how many resolved sites carried stale coordinates
+// (resolutions, not distinct sites — resolving twice counts twice).
+func (r *Resolver) StaleSites() int64 { return r.staleSites.Load() }
 
 // cityCentreZones is the number of leading zones considered "central
 // business district" for local-hosting probability.

@@ -19,7 +19,8 @@ func allPOIs(limit int) []mapping.POI {
 	var out []mapping.POI
 	for i := range tw.Cities {
 		for zone := 0; zone < tw.Cities[i].NumZones(); zone++ {
-			out = append(out, svc.POIsInZip(i, zone)...)
+			pois, _ := svc.POIsInZip(i, zone)
+			out = append(out, pois...)
 			if len(out) >= limit {
 				return out
 			}
