@@ -54,9 +54,11 @@ resume-check:
 	done
 	rm -rf .resume-check
 
-# Short coverage-guided fuzz of the journal decoder (the seed corpus also
-# runs as a plain test in `make test`).
+# Short coverage-guided fuzz of the binary decoders — the checkpoint
+# journal and the dataset artifact (their seed corpora also run as plain
+# tests in `make test`).
 fuzz-smoke:
 	$(GO) test -fuzz FuzzDecoder -fuzztime 10s -run '^$$' ./internal/checkpoint
+	$(GO) test -fuzz FuzzDatasetDecoder -fuzztime 10s -run '^$$' ./internal/dataset
 
 ci: vet build race

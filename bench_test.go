@@ -10,11 +10,14 @@ package geoloc
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"geoloc/internal/core"
+	"geoloc/internal/dataset"
 	"geoloc/internal/experiments"
 	"geoloc/internal/geo"
+	"geoloc/internal/ipaddr"
 	"geoloc/internal/stats"
 	"geoloc/internal/streetlevel"
 	"geoloc/internal/vpsel"
@@ -120,6 +123,41 @@ func BenchmarkStreetLevelGeolocate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pipe.Geolocate(i % len(c.Targets))
 	}
+}
+
+// BenchmarkLookupParallel measures the dataset-serving hot path: compile
+// the medium campaign into a dataset once, then hammer the longest-prefix
+// index from GOMAXPROCS goroutines the way cmd/geoserve does under load.
+// The query mix alternates covered addresses (LRU-friendly /24 reuse) and
+// misses so both branches stay hot. Hits and misses of the final run are
+// attached so BENCH.json records the mix alongside the timing.
+func BenchmarkLookupParallel(b *testing.B) {
+	c := benchSetup(b)
+	ds := dataset.Compile(c, dataset.Options{})
+	idx := ds.Index(0)
+	queries := make([]ipaddr.Addr, 0, 2*len(ds.Records))
+	for i, r := range ds.Records {
+		queries = append(queries, r.Prefix.Addr(byte(i))) // covered
+		queries = append(queries, ipaddr.Addr(0xC0000200+uint32(i)))
+	}
+	var hits, misses int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var h, m int64
+		var i int
+		for pb.Next() {
+			if _, ok := idx.Lookup(queries[i%len(queries)]); ok {
+				h++
+			} else {
+				m++
+			}
+			i++
+		}
+		atomic.AddInt64(&hits, h)
+		atomic.AddInt64(&misses, m)
+	})
+	b.ReportMetric(float64(atomic.LoadInt64(&hits)), "hits")
+	b.ReportMetric(float64(atomic.LoadInt64(&misses)), "misses")
 }
 
 // BenchmarkPing measures the simulator's measurement primitive.

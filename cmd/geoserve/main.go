@@ -1,0 +1,121 @@
+// geoserve serves a compiled geolocation dataset over HTTP.
+//
+// It either loads a dataset artifact (-dataset) or compiles one from a
+// fresh deterministic campaign (-scale), optionally writing the artifact
+// out (-write) instead of serving. The -faults profile injects
+// deterministic per-IP lookup failures and stalls for chaos runs.
+//
+//	geoserve -scale tiny -write dataset.bin
+//	geoserve -dataset dataset.bin -addr :8080 -metrics
+//	curl 'localhost:8080/lookup?ip=10.0.0.7'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"geoloc/internal/core"
+	"geoloc/internal/dataset"
+	"geoloc/internal/faults"
+	"geoloc/internal/telemetry"
+	"geoloc/internal/world"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("geoserve: ")
+
+	addr := flag.String("addr", ":8080", "listen address")
+	dsPath := flag.String("dataset", "", "serve this dataset artifact instead of compiling one")
+	scale := flag.String("scale", "tiny", "campaign scale to compile when -dataset is unset: tiny, medium, paper")
+	writePath := flag.String("write", "", "write the compiled dataset artifact here and exit instead of serving")
+	faultName := flag.String("faults", "none", "serving fault profile: none, realistic, degraded, hostile")
+	unsanitized := flag.Bool("unsanitized", false, "include removed anchors as unsanitized reported-location records")
+	cacheSize := flag.Int("cache", 0, "ipindex LRU entries per shard (0 = default, negative = disabled)")
+	maxBatch := flag.Int("max-batch", DefaultMaxBatch, "maximum IPs accepted in one /batch request")
+	tele := telemetry.NewCLI()
+	flag.Parse()
+	tele.Start()
+	defer tele.Finish()
+
+	var prof *faults.Profile
+	switch *faultName {
+	case "none":
+		prof = nil
+	case "realistic":
+		prof = faults.Realistic()
+	case "degraded":
+		prof = faults.Degraded()
+	case "hostile":
+		prof = faults.Hostile()
+	default:
+		log.Fatalf("unknown fault profile %q (want none, realistic, degraded, hostile)", *faultName)
+	}
+
+	ds, err := obtainDataset(*dsPath, *scale, *unsanitized)
+	if err != nil {
+		tele.Finish()
+		log.Fatal(err)
+	}
+	if *writePath != "" {
+		if err := ds.Write(*writePath); err != nil {
+			tele.Finish()
+			log.Fatalf("write dataset: %v", err)
+		}
+		log.Printf("wrote %d records to %s", len(ds.Records), *writePath)
+		tele.Finish()
+		return
+	}
+
+	srv := NewServer(ds, prof, telemetry.Default(), *cacheSize, *maxBatch)
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		httpSrv.Shutdown(shCtx)
+	}()
+
+	log.Printf("serving %d records on %s (faults=%s)", len(ds.Records), *addr, *faultName)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		tele.Finish()
+		log.Fatal(err)
+	}
+}
+
+// obtainDataset loads an artifact or compiles one from a fresh
+// deterministic campaign at the requested scale.
+func obtainDataset(path, scale string, unsanitized bool) (*dataset.Dataset, error) {
+	if path != "" {
+		ds, err := dataset.Load(path)
+		if err != nil {
+			return nil, fmt.Errorf("load dataset: %w", err)
+		}
+		return ds, nil
+	}
+	var cfg world.Config
+	switch scale {
+	case "tiny":
+		cfg = world.TinyConfig()
+	case "medium":
+		cfg = world.MediumConfig()
+	case "paper":
+		cfg = world.DefaultConfig()
+	default:
+		return nil, fmt.Errorf("unknown scale %q (want tiny, medium, paper)", scale)
+	}
+	log.Printf("compiling %s-scale dataset (no -dataset given)...", scale)
+	c := core.NewCampaign(cfg)
+	return dataset.Compile(c, dataset.Options{IncludeUnsanitized: unsanitized}), nil
+}

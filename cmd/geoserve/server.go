@@ -1,0 +1,250 @@
+// Server: the query layer over a compiled dataset artifact. Kept separate
+// from main so tests drive the exact handler the binary serves.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"geoloc/internal/dataset"
+	"geoloc/internal/faults"
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/ipindex"
+	"geoloc/internal/telemetry"
+)
+
+// DefaultMaxBatch caps /batch request size; larger requests get 413.
+const DefaultMaxBatch = 1024
+
+// latencyBoundsMs buckets the per-request latency histogram.
+var latencyBoundsMs = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// Server answers geolocation queries from an immutable dataset + index
+// pair. All handlers are safe for concurrent use.
+type Server struct {
+	ds       *dataset.Dataset
+	idx      *ipindex.Index
+	prof     *faults.Profile
+	maxBatch int
+	// sleep is time.Sleep, injectable so tests of fault-injected stalls
+	// don't actually stall.
+	sleep func(time.Duration)
+
+	reqLookup  *telemetry.Counter
+	reqBatch   *telemetry.Counter
+	reqHealth  *telemetry.Counter
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	badInput   *telemetry.Counter
+	injectFail *telemetry.Counter
+	injectMs   *telemetry.Counter
+	latencyMs  *telemetry.Histogram
+}
+
+// NewServer wires a server over the dataset. prof may be nil (no injected
+// chaos); reg receives the serving metrics (telemetry.Default() in the
+// binary, a private registry in tests). cacheSize tunes the index LRU (0
+// = default), maxBatch caps /batch (0 = DefaultMaxBatch).
+func NewServer(ds *dataset.Dataset, prof *faults.Profile, reg *telemetry.Registry, cacheSize, maxBatch int) *Server {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	return &Server{
+		ds:       ds,
+		idx:      ds.Index(cacheSize),
+		prof:     prof,
+		maxBatch: maxBatch,
+		sleep:    time.Sleep,
+
+		reqLookup:  reg.Counter("geoserve.requests_lookup"),
+		reqBatch:   reg.Counter("geoserve.requests_batch"),
+		reqHealth:  reg.Counter("geoserve.requests_healthz"),
+		hits:       reg.Counter("geoserve.hits"),
+		misses:     reg.Counter("geoserve.misses"),
+		badInput:   reg.Counter("geoserve.bad_input"),
+		injectFail: reg.Counter("geoserve.injected_failures"),
+		injectMs:   reg.Counter("geoserve.injected_stall_ms"),
+		latencyMs:  reg.Histogram("geoserve.latency_ms", latencyBoundsMs),
+	}
+}
+
+// Index exposes the serving index (benchmarks hit it directly).
+func (s *Server) Index() *ipindex.Index { return s.idx }
+
+// Handler returns the HTTP routing table.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/lookup", s.handleLookup)
+	mux.HandleFunc("/batch", s.handleBatch)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	return mux
+}
+
+// LookupResult is the JSON answer for one IP. Either Error is set or the
+// geolocation fields are.
+type LookupResult struct {
+	IP        string  `json:"ip"`
+	Prefix    string  `json:"prefix,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	Lon       float64 `json:"lon,omitempty"`
+	RadiusKm  float64 `json:"radius_km,omitempty"`
+	Method    string  `json:"method,omitempty"`
+	Sanitized bool    `json:"sanitized,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// errorBody is the JSON error envelope for whole-request failures.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes one JSON document with the given status.
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}
+
+// resolve answers one parsed address, injecting the profile's serving
+// faults: a deterministic per-IP failure (the caller maps it to 503 or a
+// per-item error) and a deterministic extra stall.
+func (s *Server) resolve(a ipaddr.Addr) (LookupResult, bool) {
+	if ms := s.prof.ServeStallMs(s.ds.Hdr.Seed, uint64(a)); ms > 0 {
+		s.injectMs.Add(int64(ms))
+		s.sleep(time.Duration(ms * float64(time.Millisecond)))
+	}
+	if s.prof.ServeFailed(s.ds.Hdr.Seed, uint64(a)) {
+		s.injectFail.Inc()
+		return LookupResult{IP: a.String(), Error: "backend unavailable (injected)"}, false
+	}
+	m, ok := s.idx.Lookup(a)
+	if !ok {
+		s.misses.Inc()
+		return LookupResult{IP: a.String(), Error: "no record covers this address"}, true
+	}
+	s.hits.Inc()
+	r := s.ds.Records[m.Value]
+	return LookupResult{
+		IP:        a.String(),
+		Prefix:    r.Prefix.String(),
+		Lat:       r.Centroid.Lat,
+		Lon:       r.Centroid.Lon,
+		RadiusKm:  r.RadiusKm,
+		Method:    r.Method.String(),
+		Sanitized: r.Sanitized,
+	}, true
+}
+
+// handleLookup serves GET /lookup?ip=A.B.C.D.
+func (s *Server) handleLookup(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	s.reqLookup.Inc()
+	if req.Method != http.MethodGet {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use GET"})
+		return
+	}
+	raw := req.URL.Query().Get("ip")
+	if raw == "" {
+		s.badInput.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{"missing ip parameter"})
+		return
+	}
+	a, err := ipaddr.Parse(raw)
+	if err != nil {
+		s.badInput.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	res, ok := s.resolve(a)
+	switch {
+	case !ok:
+		writeJSON(w, http.StatusServiceUnavailable, res)
+	case res.Error != "":
+		writeJSON(w, http.StatusNotFound, res)
+	default:
+		writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// batchRequest is the /batch input document.
+type batchRequest struct {
+	IPs []string `json:"ips"`
+}
+
+// batchResponse is the /batch output document: one result per input, in
+// input order; per-item failures (bad IP, no record, injected fault) are
+// reported in place so one bad address cannot fail the whole batch.
+type batchResponse struct {
+	Results []LookupResult `json:"results"`
+}
+
+// handleBatch serves POST /batch {"ips": ["1.2.3.4", ...]}.
+func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	s.reqBatch.Inc()
+	if req.Method != http.MethodPost {
+		writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use POST"})
+		return
+	}
+	var in batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<22))
+	if err := dec.Decode(&in); err != nil {
+		s.badInput.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(in.IPs) == 0 {
+		s.badInput.Inc()
+		writeJSON(w, http.StatusBadRequest, errorBody{"empty batch"})
+		return
+	}
+	if len(in.IPs) > s.maxBatch {
+		s.badInput.Inc()
+		writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{fmt.Sprintf("batch of %d exceeds limit %d", len(in.IPs), s.maxBatch)})
+		return
+	}
+	out := batchResponse{Results: make([]LookupResult, 0, len(in.IPs))}
+	for _, raw := range in.IPs {
+		a, err := ipaddr.Parse(raw)
+		if err != nil {
+			s.badInput.Inc()
+			out.Results = append(out.Results, LookupResult{IP: raw, Error: err.Error()})
+			continue
+		}
+		res, _ := s.resolve(a)
+		out.Results = append(out.Results, res)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// healthzBody is the /healthz response.
+type healthzBody struct {
+	Status   string `json:"status"`
+	Records  int    `json:"records"`
+	Profile  string `json:"profile"`
+	Seed     uint64 `json:"dataset_seed"`
+	Hash     string `json:"dataset_config_hash"`
+	FaultSet string `json:"fault_profile,omitempty"`
+}
+
+// handleHealthz serves GET /healthz.
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.reqHealth.Inc()
+	body := healthzBody{
+		Status:  "ok",
+		Records: len(s.ds.Records),
+		Profile: s.ds.Hdr.Profile,
+		Seed:    s.ds.Hdr.Seed,
+		Hash:    fmt.Sprintf("%016x", s.ds.Hdr.ConfigHash),
+	}
+	if s.prof != nil {
+		body.FaultSet = s.prof.Name
+	}
+	writeJSON(w, http.StatusOK, body)
+}

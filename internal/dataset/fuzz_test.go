@@ -1,0 +1,77 @@
+package dataset
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"geoloc/internal/geo"
+	"geoloc/internal/ipaddr"
+)
+
+// FuzzDatasetDecoder throws arbitrary bytes at Decode and checks its
+// safety contract, mirroring internal/checkpoint's FuzzDecoder: no
+// panics, no allocations driven by unvalidated length fields, and every
+// failure — torn tails and bad CRCs included — is one of the package's
+// named errors. When Decode succeeds, re-encoding the result must
+// reproduce the input exactly: a dataset artifact has a single canonical
+// byte form.
+//
+// Run locally with:
+//
+//	go test -fuzz FuzzDatasetDecoder -fuzztime 30s ./internal/dataset
+func FuzzDatasetDecoder(f *testing.F) {
+	// Seed corpus: a well-formed artifact, its truncations, and light
+	// mutations, so the fuzzer starts at the format's edges.
+	d := &Dataset{
+		Hdr: Header{Version: Version, ConfigHash: 0xABCD, Seed: 7, Profile: "none"},
+		Records: []Record{
+			{Prefix: ipaddr.Prefix24Of(ipaddr.MustParse("10.0.0.1")),
+				Centroid: geo.Point{Lat: 48.8, Lon: 2.3}, RadiusKm: 120, Method: MethodCBG, Sanitized: true},
+			{Prefix: ipaddr.Prefix24Of(ipaddr.MustParse("10.0.1.1")),
+				Centroid: geo.Point{Lat: -33.9, Lon: 151.2}, RadiusKm: 88.5, Method: MethodStreetLandmark, Sanitized: true},
+			{Prefix: ipaddr.Prefix24Of(ipaddr.MustParse("10.0.2.1")),
+				Centroid: geo.Point{Lat: 1.3, Lon: 103.8}, Method: MethodReported},
+		},
+	}
+	img := d.Encode()
+	f.Add(img)
+	f.Add(img[:len(Magic)])
+	f.Add(img[:len(Magic)+3])
+	f.Add(img[:len(img)-1])
+	f.Add(img[:len(img)/2])
+	f.Add([]byte{})
+	f.Add([]byte(Magic))
+	f.Add([]byte("GEODSET2junk"))
+	mut := append([]byte(nil), img...)
+	mut[len(Magic)+2] ^= 0x40
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Decode(data)
+		if err != nil {
+			if !errors.Is(err, ErrBadMagic) && !errors.Is(err, ErrBadVersion) &&
+				!errors.Is(err, ErrCorrupt) && !errors.Is(err, ErrTruncated) &&
+				!errors.Is(err, ErrNoHeader) {
+				t.Fatalf("unnamed error: %v", err)
+			}
+			return
+		}
+		if got.Hdr.Version != Version {
+			t.Fatalf("accepted version %d", got.Hdr.Version)
+		}
+		for i, r := range got.Records {
+			if i > 0 && got.Records[i-1].Prefix >= r.Prefix {
+				t.Fatalf("accepted unsorted records at %d", i)
+			}
+			if uint32(r.Prefix) > 0x00FF_FFFF || Method(r.Method) >= numMethods {
+				t.Fatalf("accepted invalid record %+v", r)
+			}
+		}
+		// Canonical form: decode(encode(decode(x))) is the identity and
+		// encode(decode(x)) == x byte for byte.
+		if !bytes.Equal(got.Encode(), data) {
+			t.Fatal("accepted input is not in canonical encoded form")
+		}
+	})
+}

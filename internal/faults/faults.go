@@ -79,6 +79,16 @@ type Profile struct {
 	// poisoning any estimate that maps the target onto it.
 	StaleLandmarkProb float64
 	StaleDriftMaxKm   float64
+
+	// ServeFailProb is the probability one dataset-serving lookup fails
+	// outright (backend hiccup, shed load); geoserve answers 503 and the
+	// client is expected to retry. ServeStallProb/ServeStallMaxMs inject
+	// extra lookup latency (up to the max, uniform) into served queries.
+	// Both are keyed by the queried address, so a chaos run fails and
+	// slows the same IPs deterministically.
+	ServeFailProb   float64
+	ServeStallProb  float64
+	ServeStallMaxMs float64
 }
 
 // None returns the empty profile: no injected faults, bit-identical
@@ -106,6 +116,10 @@ func Realistic() *Profile {
 		LookupFailProb:    0.03,
 		StaleLandmarkProb: 0.03,
 		StaleDriftMaxKm:   8,
+
+		ServeFailProb:   0.002,
+		ServeStallProb:  0.01,
+		ServeStallMaxMs: 50,
 	}
 }
 
@@ -129,6 +143,10 @@ func Degraded() *Profile {
 		LookupFailProb:    0.10,
 		StaleLandmarkProb: 0.08,
 		StaleDriftMaxKm:   25,
+
+		ServeFailProb:   0.02,
+		ServeStallProb:  0.10,
+		ServeStallMaxMs: 250,
 	}
 }
 
@@ -154,6 +172,10 @@ func Hostile() *Profile {
 		LookupFailProb:    0.25,
 		StaleLandmarkProb: 0.20,
 		StaleDriftMaxKm:   75,
+
+		ServeFailProb:   0.10,
+		ServeStallProb:  0.30,
+		ServeStallMaxMs: 1000,
 	}
 }
 
@@ -177,6 +199,9 @@ func (p *Profile) Scale(k float64) *Profile {
 	s.LookupFailProb = cap1(p.LookupFailProb)
 	s.StaleLandmarkProb = cap1(p.StaleLandmarkProb)
 	s.StaleDriftMaxKm = math.Max(0, p.StaleDriftMaxKm*k)
+	s.ServeFailProb = cap1(p.ServeFailProb)
+	s.ServeStallProb = cap1(p.ServeStallProb)
+	s.ServeStallMaxMs = math.Max(0, p.ServeStallMaxMs*k)
 	s.Name = fmt.Sprintf("%s*%g", p.Name, k)
 	return &s
 }
@@ -190,7 +215,8 @@ func (p *Profile) Enabled() bool {
 	return p.PacketLoss > 0 || p.PathLossMax > 0 || p.FlapFrac > 0 ||
 		p.TraceTruncProb > 0 || p.HopLossProb > 0 ||
 		p.SubmitErrProb > 0 || p.RateLimitProb > 0 || p.StallProb > 0 ||
-		p.LookupFailProb > 0 || p.StaleLandmarkProb > 0
+		p.LookupFailProb > 0 || p.StaleLandmarkProb > 0 ||
+		p.ServeFailProb > 0 || p.ServeStallProb > 0
 }
 
 // Label namespaces for fault draws. They are disjoint from every label
@@ -209,9 +235,11 @@ var (
 	kSubmit    = rhash.HashString("faults/submit")
 	kStall     = rhash.HashString("faults/stall")
 	kLookup    = rhash.HashString("faults/maplookup")
-	kStaleSel  = rhash.HashString("faults/stalesel")
-	kStaleBrg  = rhash.HashString("faults/stalebearing")
-	kStaleDist = rhash.HashString("faults/staledist")
+	kStaleSel   = rhash.HashString("faults/stalesel")
+	kStaleBrg   = rhash.HashString("faults/stalebearing")
+	kStaleDist  = rhash.HashString("faults/staledist")
+	kServeFail  = rhash.HashString("faults/servefail")
+	kServeStall = rhash.HashString("faults/servestall")
 )
 
 // PathLossRate returns the persistent per-path loss probability of the
@@ -358,4 +386,28 @@ func (p *Profile) StallSec(seed, src, dst, salt uint64, attempt int) float64 {
 	// Reuse the sub-threshold draw as the stall magnitude: u/StallProb is
 	// uniform in [0, 1) conditioned on stalling.
 	return p.StallMaxSec * (u / p.StallProb)
+}
+
+// ServeFailed reports whether the dataset-serving lookup for addr fails.
+// Persistent per address: a chaos run fails the same IPs on every retry,
+// so clients exercise their fallback path, not a lucky second attempt.
+func (p *Profile) ServeFailed(seed, addr uint64) bool {
+	if p == nil || p.ServeFailProb <= 0 {
+		return false
+	}
+	return rhash.UnitFloat(seed, kServeFail, addr) < p.ServeFailProb
+}
+
+// ServeStallMs returns the extra latency injected into the lookup for
+// addr (milliseconds), 0 when the query is served at full speed.
+func (p *Profile) ServeStallMs(seed, addr uint64) float64 {
+	if p == nil || p.ServeStallProb <= 0 || p.ServeStallMaxMs <= 0 {
+		return 0
+	}
+	u := rhash.UnitFloat(seed, kServeStall, addr)
+	if u >= p.ServeStallProb {
+		return 0
+	}
+	// Reuse the sub-threshold draw as the magnitude, as StallSec does.
+	return p.ServeStallMaxMs * (u / p.ServeStallProb)
 }

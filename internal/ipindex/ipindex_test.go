@@ -1,0 +1,279 @@
+package ipindex
+
+import (
+	"testing"
+
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/rhash"
+)
+
+// oracle is the naive linear-scan longest-prefix-match the index must
+// agree with: walk every entry in insertion order and keep the longest
+// prefix containing the address. Strictly-greater comparison encodes the
+// index's duplicate rule (first occurrence of an identical prefix wins).
+func oracle(entries []Entry, a ipaddr.Addr) (Match, bool) {
+	best := Match{}
+	found := false
+	bestLen := -1
+	for _, e := range entries {
+		p := Make(e.Prefix.Bits, e.Prefix.Len)
+		if p.Contains(a) && int(p.Len) > bestLen {
+			best = Match{Prefix: p, Value: e.Value}
+			bestLen = int(p.Len)
+			found = true
+		}
+	}
+	return best, found
+}
+
+// randomEntries draws a prefix set with deliberate nesting: roughly a
+// third of the prefixes are children of an earlier prefix, so nested
+// longest-match and shadowed-parent cases occur constantly, not rarely.
+func randomEntries(rs *rhash.Stream, n int) []Entry {
+	entries := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		var p Prefix
+		if len(entries) > 0 && rs.Bool(0.35) {
+			// Child of an earlier prefix: extend its length and set some
+			// of the newly significant bits.
+			parent := entries[rs.Intn(len(entries))].Prefix
+			extra := 1 + rs.Intn(int(32-parent.Len)+1)
+			if int(parent.Len)+extra > 32 {
+				extra = int(32 - parent.Len)
+			}
+			if extra == 0 {
+				p = parent
+			} else {
+				childLen := parent.Len + uint8(extra)
+				bits := uint32(parent.Bits) | (uint32(rs.Uint64()) &^ mask(parent.Len) & mask(childLen))
+				p = Make(ipaddr.Addr(bits), childLen)
+			}
+		} else {
+			length := uint8(rs.Intn(33))
+			p = Make(ipaddr.Addr(uint32(rs.Uint64())), length)
+		}
+		entries = append(entries, Entry{Prefix: p, Value: int32(i)})
+	}
+	return entries
+}
+
+// TestLookupMatchesOracle is the property test: for thousands of
+// rhash-seeded random prefix sets and query addresses, the index's
+// longest-prefix-match answer must equal the naive oracle — including
+// no-match queries and nested prefixes.
+func TestLookupMatchesOracle(t *testing.T) {
+	trials := 150
+	if testing.Short() {
+		trials = 25
+	}
+	for trial := 0; trial < trials; trial++ {
+		rs := rhash.New(0x1D5EED, uint64(trial))
+		entries := randomEntries(rs, 1+rs.Intn(64))
+		ix := Build(entries, 8) // tiny cache so eviction happens mid-test
+
+		check := func(a ipaddr.Addr) {
+			t.Helper()
+			want, wantOK := oracle(entries, a)
+			got, gotOK := ix.Lookup(a)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("trial %d: Lookup(%s) = %+v,%v; oracle %+v,%v",
+					trial, a, got, gotOK, want, wantOK)
+			}
+			gotU, gotUOK := ix.LookupUncached(a)
+			if gotUOK != wantOK || gotU != want {
+				t.Fatalf("trial %d: LookupUncached(%s) = %+v,%v; oracle %+v,%v",
+					trial, a, gotU, gotUOK, want, wantOK)
+			}
+		}
+
+		// Boundary addresses of every prefix: first, last, and one beyond
+		// each side — the off-by-one edges a binary search gets wrong.
+		for _, e := range entries {
+			lo, hi := Make(e.Prefix.Bits, e.Prefix.Len).Range()
+			check(ipaddr.Addr(lo))
+			check(ipaddr.Addr(hi))
+			check(ipaddr.Addr(lo - 1))
+			check(ipaddr.Addr(hi + 1))
+		}
+		// Random addresses, each queried twice so the second hit exercises
+		// the LRU path against the same oracle answer.
+		for q := 0; q < 64; q++ {
+			a := ipaddr.Addr(uint32(rs.Uint64()))
+			check(a)
+			check(a)
+		}
+	}
+}
+
+func TestEmptyIndex(t *testing.T) {
+	ix := Build(nil, 0)
+	if _, ok := ix.Lookup(ipaddr.MustParse("10.0.0.1")); ok {
+		t.Fatal("empty index matched")
+	}
+	if ix.Len() != 0 || ix.Spans() != 0 {
+		t.Fatalf("empty index has Len=%d Spans=%d", ix.Len(), ix.Spans())
+	}
+}
+
+func TestDefaultRouteCoversEverything(t *testing.T) {
+	ix := Build([]Entry{{Prefix: Make(0, 0), Value: 7}}, 0)
+	for _, s := range []string{"0.0.0.0", "10.1.2.3", "255.255.255.255", "128.0.0.0"} {
+		m, ok := ix.Lookup(ipaddr.MustParse(s))
+		if !ok || m.Value != 7 || m.Prefix.Len != 0 {
+			t.Fatalf("Lookup(%s) = %+v, %v", s, m, ok)
+		}
+	}
+}
+
+func TestNestedLongestWins(t *testing.T) {
+	entries := []Entry{
+		{Prefix: Make(ipaddr.MustParse("10.0.0.0"), 8), Value: 1},
+		{Prefix: Make(ipaddr.MustParse("10.1.0.0"), 16), Value: 2},
+		{Prefix: Make(ipaddr.MustParse("10.1.2.0"), 24), Value: 3},
+	}
+	ix := Build(entries, 0)
+	cases := []struct {
+		ip   string
+		want int32
+	}{
+		{"10.1.2.9", 3},
+		{"10.1.3.9", 2},
+		{"10.9.9.9", 1},
+		{"10.1.2.255", 3},
+		{"10.1.255.255", 2},
+	}
+	for _, c := range cases {
+		m, ok := ix.Lookup(ipaddr.MustParse(c.ip))
+		if !ok || m.Value != c.want {
+			t.Fatalf("Lookup(%s) = %+v, %v; want value %d", c.ip, m, ok, c.want)
+		}
+	}
+	if _, ok := ix.Lookup(ipaddr.MustParse("11.0.0.0")); ok {
+		t.Fatal("address outside every prefix matched")
+	}
+}
+
+func TestDuplicatePrefixFirstWins(t *testing.T) {
+	entries := []Entry{
+		{Prefix: Make(ipaddr.MustParse("10.1.2.7"), 24), Value: 5}, // normalizes to 10.1.2.0/24
+		{Prefix: Make(ipaddr.MustParse("10.1.2.0"), 24), Value: 9},
+	}
+	ix := Build(entries, 0)
+	if ix.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 after dedupe", ix.Len())
+	}
+	m, ok := ix.Lookup(ipaddr.MustParse("10.1.2.200"))
+	if !ok || m.Value != 5 {
+		t.Fatalf("Lookup = %+v, %v; want first entry's value 5", m, ok)
+	}
+}
+
+func TestShardSpanningPrefix(t *testing.T) {
+	// A /7 spans two top-octet shards; both must answer.
+	ix := Build([]Entry{{Prefix: Make(ipaddr.MustParse("10.0.0.0"), 7), Value: 3}}, 0)
+	for _, s := range []string{"10.200.1.1", "11.3.2.1"} {
+		if m, ok := ix.Lookup(ipaddr.MustParse(s)); !ok || m.Value != 3 {
+			t.Fatalf("Lookup(%s) = %+v, %v", s, m, ok)
+		}
+	}
+	if _, ok := ix.Lookup(ipaddr.MustParse("12.0.0.0")); ok {
+		t.Fatal("address beyond the /7 matched")
+	}
+}
+
+func TestLongPrefixDisablesShardCacheOnly(t *testing.T) {
+	entries := []Entry{
+		{Prefix: Make(ipaddr.MustParse("10.1.2.0"), 24), Value: 1},
+		{Prefix: Make(ipaddr.MustParse("10.1.2.128"), 25), Value: 2}, // splits the /24
+		{Prefix: Make(ipaddr.MustParse("11.5.0.0"), 16), Value: 3},
+	}
+	ix := Build(entries, 0)
+	if ix.shards[10].cache != nil {
+		t.Fatal("shard 10 holds a /25 but still caches /24 keys")
+	}
+	if ix.shards[11].cache == nil {
+		t.Fatal("shard 11 has only short prefixes but no cache")
+	}
+	// Both halves of the split /24 must resolve correctly despite sharing
+	// a /24 cache key (which is exactly why the cache is off).
+	if m, _ := ix.Lookup(ipaddr.MustParse("10.1.2.5")); m.Value != 1 {
+		t.Fatalf("low half = %+v", m)
+	}
+	if m, _ := ix.Lookup(ipaddr.MustParse("10.1.2.200")); m.Value != 2 {
+		t.Fatalf("high half = %+v", m)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := newLRU(2)
+	c.put(1, 10)
+	c.put(2, 20)
+	if _, ok := c.get(1); !ok {
+		t.Fatal("key 1 evicted early")
+	}
+	c.put(3, 30) // evicts 2 (LRU after the get refreshed 1)
+	if _, ok := c.get(2); ok {
+		t.Fatal("key 2 should have been evicted")
+	}
+	for _, k := range []uint32{1, 3} {
+		if v, ok := c.get(k); !ok || v != int32(k*10) {
+			t.Fatalf("get(%d) = %d, %v", k, v, ok)
+		}
+	}
+	c.put(1, 11) // refresh in place
+	if v, _ := c.get(1); v != 11 {
+		t.Fatalf("refreshed value = %d", v)
+	}
+}
+
+// TestConcurrentLookup hammers one index from many goroutines with
+// overlapping hot keys so the race detector can see into the LRU path
+// (the dedicated CI race job runs this package with -race).
+func TestConcurrentLookup(t *testing.T) {
+	rs := rhash.New(0xC0C0)
+	entries := randomEntries(rs, 128)
+	ix := Build(entries, 16)
+
+	// Precompute expected answers on a fixed query set.
+	queries := make([]ipaddr.Addr, 512)
+	want := make([]Match, len(queries))
+	wantOK := make([]bool, len(queries))
+	for i := range queries {
+		queries[i] = ipaddr.Addr(uint32(rs.Uint64()))
+		want[i], wantOK[i] = oracle(entries, queries[i])
+	}
+
+	const workers = 8
+	done := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			for rep := 0; rep < 200; rep++ {
+				for i, q := range queries {
+					m, ok := ix.Lookup(q)
+					if ok != wantOK[i] || m != want[i] {
+						done <- errAt(q, m, ok)
+						return
+					}
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for w := 0; w < workers; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+type lookupErr struct {
+	q  ipaddr.Addr
+	m  Match
+	ok bool
+}
+
+func errAt(q ipaddr.Addr, m Match, ok bool) error { return &lookupErr{q, m, ok} }
+
+func (e *lookupErr) Error() string {
+	return "concurrent lookup diverged at " + e.q.String()
+}

@@ -1,0 +1,103 @@
+package ipindex
+
+// lruCache is a fixed-capacity LRU map from /24 keys to interval indices
+// (-1 caches a no-match). It is deliberately allocation-free after
+// construction: entries live in parallel slices linked into a doubly
+// linked recency list by slot index. Callers hold the owning shard's
+// mutex; the cache itself is not safe for concurrent use.
+type lruCache struct {
+	cap   int
+	slots map[uint32]int32 // key -> slot
+	keys  []uint32
+	vals  []int32
+	prev  []int32 // toward more recently used
+	next  []int32 // toward less recently used
+	head  int32   // most recently used slot, -1 when empty
+	tail  int32   // least recently used slot, -1 when empty
+}
+
+// newLRU allocates an empty cache with the given capacity (minimum 1).
+func newLRU(capacity int) *lruCache {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &lruCache{
+		cap:   capacity,
+		slots: make(map[uint32]int32, capacity),
+		keys:  make([]uint32, 0, capacity),
+		vals:  make([]int32, 0, capacity),
+		prev:  make([]int32, 0, capacity),
+		next:  make([]int32, 0, capacity),
+		head:  -1,
+		tail:  -1,
+	}
+}
+
+// unlink removes slot s from the recency list.
+func (c *lruCache) unlink(s int32) {
+	if c.prev[s] >= 0 {
+		c.next[c.prev[s]] = c.next[s]
+	} else {
+		c.head = c.next[s]
+	}
+	if c.next[s] >= 0 {
+		c.prev[c.next[s]] = c.prev[s]
+	} else {
+		c.tail = c.prev[s]
+	}
+}
+
+// pushFront makes slot s the most recently used.
+func (c *lruCache) pushFront(s int32) {
+	c.prev[s] = -1
+	c.next[s] = c.head
+	if c.head >= 0 {
+		c.prev[c.head] = s
+	}
+	c.head = s
+	if c.tail < 0 {
+		c.tail = s
+	}
+}
+
+// get returns the cached value for key and refreshes its recency.
+func (c *lruCache) get(key uint32) (val int32, ok bool) {
+	s, ok := c.slots[key]
+	if !ok {
+		return 0, false
+	}
+	if c.head != s {
+		c.unlink(s)
+		c.pushFront(s)
+	}
+	return c.vals[s], true
+}
+
+// put inserts or refreshes key, evicting the least recently used entry
+// when the cache is full.
+func (c *lruCache) put(key uint32, val int32) {
+	if s, ok := c.slots[key]; ok {
+		c.vals[s] = val
+		if c.head != s {
+			c.unlink(s)
+			c.pushFront(s)
+		}
+		return
+	}
+	var s int32
+	if len(c.keys) < c.cap {
+		s = int32(len(c.keys))
+		c.keys = append(c.keys, key)
+		c.vals = append(c.vals, val)
+		c.prev = append(c.prev, -1)
+		c.next = append(c.next, -1)
+	} else {
+		s = c.tail
+		c.unlink(s)
+		delete(c.slots, c.keys[s])
+		c.keys[s] = key
+		c.vals[s] = val
+	}
+	c.slots[key] = s
+	c.pushFront(s)
+}
