@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench experiments ci resume-check fuzz-smoke
+.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke
 
 all: build
 
@@ -26,8 +26,31 @@ staticcheck:
 
 # One iteration of every benchmark, parsed into BENCH.json (name → ns/op,
 # allocs/op, and any custom metrics such as BenchmarkChaos registry totals).
+# benchjson is built ahead of the run: `go run` in the pipe would compile
+# it concurrently with the first benchmarks and skew their timings.
 bench:
-	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | $(GO) run ./cmd/benchjson -o BENCH.json
+	@mkdir -p .bin
+	$(GO) build -o .bin/benchjson ./cmd/benchjson
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | ./.bin/benchjson -o BENCH.json
+
+# Regression gate: rerun the benchmarks and fail when any committed
+# BENCH.json entry regressed beyond the thresholds (generous on ns/op
+# because shared runners are noisy; tight on B/op because allocation
+# counts are deterministic).
+bench-check:
+	@mkdir -p .bin
+	$(GO) build -o .bin/benchjson ./cmd/benchjson
+	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | \
+		./.bin/benchjson -o /dev/null -compare BENCH.json -max-regress 100 -max-regress-bytes 25
+
+# CPU + heap profiles of the costliest analysis benchmark (Fig 2a drives
+# ~58k CBG locates through the sampling kernels). Inspect with
+# `go tool pprof profiles/fig2a.cpu.pprof`.
+profile:
+	mkdir -p profiles
+	$(GO) test -bench 'Fig2a' -benchtime 1x -run '^$$' \
+		-cpuprofile profiles/fig2a.cpu.pprof -memprofile profiles/fig2a.mem.pprof .
+	@echo "profiles written to profiles/fig2a.{cpu,mem}.pprof"
 
 experiments:
 	$(GO) run ./cmd/experiments -scale tiny -out results

@@ -9,6 +9,7 @@ package geoloc
 
 import (
 	"math"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -46,9 +47,15 @@ func freshCtx(b *testing.B) *experiments.Context {
 	return experiments.NewContextFromCampaign(benchSetup(b), experiments.QuickOptions())
 }
 
-// benchExperiment times one experiment function.
+// benchExperiment times one experiment function. The explicit GC drains
+// garbage left by whichever benchmark ran before this one — with
+// -benchtime 1x a single collection triggered by a predecessor's heap
+// otherwise lands inside the measured window and dominates run-to-run
+// noise, which the CI bench-regression gate then has to absorb in its
+// thresholds.
 func benchExperiment(b *testing.B, f func(*experiments.Context) *experiments.Report) {
 	benchSetup(b)
+	runtime.GC()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		rep := f(freshCtx(b))

@@ -6,7 +6,17 @@
 //	go test -bench . -benchmem -run '^$' . | benchjson -o BENCH.json
 //
 // Custom b.ReportMetric units (e.g. medianErrKm, retries) land in the same
-// per-benchmark metrics map as ns/op, B/op, and allocs/op.
+// per-benchmark metrics map as ns/op, B/op, and allocs/op. A benchmark
+// name appearing on several result lines (-count > 1) is aggregated into
+// one entry: iteration counts sum, metrics average.
+//
+// With -compare the parsed run is also checked against a previously
+// written summary and the command exits nonzero when any baseline
+// benchmark is missing from the run or has regressed beyond the allowed
+// thresholds — the CI bench-regression gate:
+//
+//	go test -bench . -benchmem -benchtime 1x -run '^$' . |
+//	    benchjson -o /dev/null -compare BENCH.json -max-regress 100 -max-regress-bytes 25
 //
 // Empty or unparseable input is an error: a bench run that crashed or
 // produced nothing must fail the pipeline, not write an empty BENCH.json
@@ -24,6 +34,7 @@ import (
 	"log"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -64,6 +75,12 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("benchjson: ")
 	out := flag.String("o", "BENCH.json", "output JSON file")
+	compare := flag.String("compare", "",
+		"baseline BENCH.json to compare against; exits nonzero on regression")
+	maxRegress := flag.Float64("max-regress", 50,
+		"with -compare: max allowed ns/op increase over the baseline, in percent")
+	maxRegressBytes := flag.Float64("max-regress-bytes", 25,
+		"with -compare: max allowed B/op increase over the baseline, in percent")
 	flag.Parse()
 
 	sum, err := parse(bufio.NewScanner(os.Stdin), os.Stdout)
@@ -83,6 +100,85 @@ func main() {
 		log.Fatal(err)
 	}
 	log.Printf("%d benchmark(s) written to %s", len(sum.Benchmarks), *out)
+
+	if *compare != "" {
+		base, err := loadSummary(*compare)
+		if err != nil {
+			log.Fatalf("loading baseline: %v", err)
+		}
+		regs, err := compareSummaries(base, sum, limits{
+			"ns/op": *maxRegress,
+			"B/op":  *maxRegressBytes,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, r := range regs {
+			log.Printf("REGRESSION: %s", r)
+		}
+		if len(regs) > 0 {
+			log.Fatalf("%d benchmark metric(s) regressed beyond the allowed thresholds vs %s", len(regs), *compare)
+		}
+		log.Printf("no regressions vs %s (ns/op within %.0f%%, B/op within %.0f%%)",
+			*compare, *maxRegress, *maxRegressBytes)
+	}
+}
+
+// loadSummary reads a previously written BENCH.json.
+func loadSummary(path string) (Summary, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Summary{}, err
+	}
+	var s Summary
+	if err := json.Unmarshal(data, &s); err != nil {
+		return Summary{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// limits maps a metric unit to its allowed regression in percent. Units
+// absent from the map are informational and never gate.
+type limits map[string]float64
+
+// compareSummaries checks every baseline benchmark against the current
+// run. A baseline benchmark missing from the run is an error — a silently
+// dropped or renamed benchmark must not pass the gate by vanishing. The
+// returned strings describe each metric that regressed past its limit.
+func compareSummaries(base, cur Summary, lim limits) ([]string, error) {
+	curByName := make(map[string]Benchmark, len(cur.Benchmarks))
+	for _, b := range cur.Benchmarks {
+		curByName[b.Name] = b
+	}
+	var regs []string
+	for _, bb := range base.Benchmarks {
+		cb, ok := curByName[bb.Name]
+		if !ok {
+			return nil, fmt.Errorf(
+				"baseline benchmark %q missing from this run — renamed, dropped, or filtered out? "+
+					"(run the full bench suite, or refresh the baseline)", bb.Name)
+		}
+		// Stable report order: iterate units sorted.
+		units := make([]string, 0, len(lim))
+		for u := range lim {
+			units = append(units, u)
+		}
+		sort.Strings(units)
+		for _, unit := range units {
+			maxPct := lim[unit]
+			ov, okOld := bb.Metrics[unit]
+			nv, okNew := cb.Metrics[unit]
+			if !okOld || !okNew || ov <= 0 {
+				continue // metric not tracked on both sides: nothing to gate
+			}
+			pct := (nv - ov) / ov * 100
+			if pct > maxPct {
+				regs = append(regs, fmt.Sprintf("%s %s: %.4g -> %.4g (%+.1f%%, limit %+.0f%%)",
+					bb.Name, unit, ov, nv, pct, maxPct))
+			}
+		}
+	}
+	return regs, nil
 }
 
 // parse consumes benchmark output, echoing each line to echo, and returns
@@ -128,7 +224,42 @@ func parse(sc *bufio.Scanner, echo io.Writer) (Summary, error) {
 	if len(sum.Benchmarks) == 0 {
 		return Summary{}, errNoBenchmarks
 	}
+	sum.Benchmarks = aggregate(sum.Benchmarks)
 	return sum, nil
+}
+
+// aggregate merges result lines sharing one benchmark name (as produced
+// by -count > 1) into a single entry: iteration counts sum, each metric
+// becomes the arithmetic mean of the lines reporting it. Order follows
+// first appearance, so a single-run input passes through unchanged.
+func aggregate(in []Benchmark) []Benchmark {
+	type acc struct {
+		idx    int
+		counts map[string]int
+	}
+	byName := make(map[string]*acc, len(in))
+	out := make([]Benchmark, 0, len(in))
+	for _, b := range in {
+		a, ok := byName[b.Name]
+		if !ok {
+			byName[b.Name] = &acc{idx: len(out), counts: map[string]int{}}
+			a = byName[b.Name]
+			for unit := range b.Metrics {
+				a.counts[unit] = 1
+			}
+			out = append(out, b)
+			continue
+		}
+		dst := &out[a.idx]
+		dst.N += b.N
+		for unit, v := range b.Metrics {
+			// Incremental mean over the lines carrying this unit.
+			n := a.counts[unit] + 1
+			a.counts[unit] = n
+			dst.Metrics[unit] += (v - dst.Metrics[unit]) / float64(n)
+		}
+	}
+	return out
 }
 
 // parseBenchLine parses one `BenchmarkName-8  N  v1 unit1  v2 unit2 ...`

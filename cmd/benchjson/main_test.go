@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"errors"
 	"io"
+	"math"
 	"strings"
 	"testing"
 )
@@ -170,5 +171,150 @@ func TestParseEchoesEveryLine(t *testing.T) {
 	}
 	if sb.String() != in {
 		t.Fatalf("echo = %q, want input passed through verbatim", sb.String())
+	}
+}
+
+func TestAggregateDuplicateNames(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []Benchmark
+		want []Benchmark
+	}{
+		{
+			name: "no duplicates pass through",
+			in: []Benchmark{
+				{Name: "A", N: 10, Metrics: map[string]float64{"ns/op": 100}},
+				{Name: "B", N: 20, Metrics: map[string]float64{"ns/op": 200}},
+			},
+			want: []Benchmark{
+				{Name: "A", N: 10, Metrics: map[string]float64{"ns/op": 100}},
+				{Name: "B", N: 20, Metrics: map[string]float64{"ns/op": 200}},
+			},
+		},
+		{
+			name: "three runs average, iterations sum",
+			in: []Benchmark{
+				{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 90, "B/op": 10}},
+				{Name: "A", N: 2, Metrics: map[string]float64{"ns/op": 110, "B/op": 20}},
+				{Name: "A", N: 3, Metrics: map[string]float64{"ns/op": 100, "B/op": 30}},
+			},
+			want: []Benchmark{
+				{Name: "A", N: 6, Metrics: map[string]float64{"ns/op": 100, "B/op": 20}},
+			},
+		},
+		{
+			name: "metric present on some lines only averages over those lines",
+			in: []Benchmark{
+				{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 10}},
+				{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 20, "retries": 4}},
+			},
+			want: []Benchmark{
+				{Name: "A", N: 2, Metrics: map[string]float64{"ns/op": 15, "retries": 4}},
+			},
+		},
+		{
+			name: "interleaved names keep first-appearance order",
+			in: []Benchmark{
+				{Name: "B", N: 1, Metrics: map[string]float64{"ns/op": 1}},
+				{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 2}},
+				{Name: "B", N: 1, Metrics: map[string]float64{"ns/op": 3}},
+			},
+			want: []Benchmark{
+				{Name: "B", N: 2, Metrics: map[string]float64{"ns/op": 2}},
+				{Name: "A", N: 1, Metrics: map[string]float64{"ns/op": 2}},
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := aggregate(tc.in)
+			if len(got) != len(tc.want) {
+				t.Fatalf("got %d benchmarks, want %d", len(got), len(tc.want))
+			}
+			for i := range got {
+				if got[i].Name != tc.want[i].Name || got[i].N != tc.want[i].N {
+					t.Errorf("[%d] got %s/%d, want %s/%d", i, got[i].Name, got[i].N, tc.want[i].Name, tc.want[i].N)
+				}
+				if len(got[i].Metrics) != len(tc.want[i].Metrics) {
+					t.Errorf("[%d] metrics %v, want %v", i, got[i].Metrics, tc.want[i].Metrics)
+					continue
+				}
+				for u, w := range tc.want[i].Metrics {
+					if g := got[i].Metrics[u]; math.Abs(g-w) > 1e-9 {
+						t.Errorf("[%d] metric %s = %v, want %v", i, u, g, w)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestCompareSummaries(t *testing.T) {
+	base := Summary{Benchmarks: []Benchmark{
+		{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 1000, "B/op": 100}},
+		{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 2000, "B/op": 200}},
+	}}
+	lim := limits{"ns/op": 50, "B/op": 25}
+	cases := []struct {
+		name        string
+		cur         Summary
+		wantRegs    int
+		wantErrPart string
+	}{
+		{
+			name: "all within limits",
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 1400, "B/op": 120}},
+				{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 1900, "B/op": 200}},
+			}},
+		},
+		{
+			name: "seeded ns/op regression fails",
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 1600, "B/op": 100}},
+				{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 2000, "B/op": 200}},
+			}},
+			wantRegs: 1,
+		},
+		{
+			name: "allocation regression gates independently of time",
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 900, "B/op": 150}},
+				{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 2100, "B/op": 300}},
+			}},
+			wantRegs: 2,
+		},
+		{
+			name: "baseline benchmark missing from run is an error",
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 1000, "B/op": 100}},
+			}},
+			wantErrPart: `"Fig2b" missing`,
+		},
+		{
+			name: "extra benchmarks in the run are fine",
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Fig2a", N: 1, Metrics: map[string]float64{"ns/op": 1000, "B/op": 100}},
+				{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 2000, "B/op": 200}},
+				{Name: "New", N: 1, Metrics: map[string]float64{"ns/op": 5}},
+			}},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, err := compareSummaries(base, tc.cur, lim)
+			if tc.wantErrPart != "" {
+				if err == nil || !strings.Contains(err.Error(), tc.wantErrPart) {
+					t.Fatalf("err = %v, want containing %q", err, tc.wantErrPart)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("unexpected error: %v", err)
+			}
+			if len(regs) != tc.wantRegs {
+				t.Fatalf("got %d regressions %v, want %d", len(regs), regs, tc.wantRegs)
+			}
+		})
 	}
 }

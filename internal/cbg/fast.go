@@ -3,6 +3,7 @@ package cbg
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"geoloc/internal/geo"
 )
@@ -12,11 +13,22 @@ import (
 // hundreds of times; building geo.Region values per trial would dominate
 // the runtime). RTTs are float32 milliseconds; NaN marks unresponsive
 // measurements.
+//
+// A fully-populated matrix should be sealed (Seal) before the analysis
+// phases read it: sealing builds the read-optimized views — per-VP
+// trigonometry and a [target][vp] transpose — that let the locate paths
+// scan a target's measurements sequentially instead of striding across
+// rows. All read methods work on unsealed matrices too (tests hand-build
+// small ones), just without the cached views.
 type Matrix struct {
 	// VPs holds the (reported) vantage point locations.
 	VPs []geo.Point
 	// RTT is indexed [vp][target].
 	RTT [][]float32
+
+	sealOnce sync.Once
+	vpTrig   []geo.Trig  // per-VP precomputed trig; nil until sealed
+	cols     [][]float32 // [target][vp] transpose; nil until sealed
 }
 
 // Unresponsive is the sentinel for failed measurements in a Matrix.
@@ -26,15 +38,76 @@ var Unresponsive = float32(math.NaN())
 // count, initialized to Unresponsive.
 func NewMatrix(vps []geo.Point, targets int) *Matrix {
 	m := &Matrix{VPs: vps, RTT: make([][]float32, len(vps))}
+	cells := make([]float32, len(vps)*targets)
+	for i := range cells {
+		cells[i] = Unresponsive
+	}
 	for i := range m.RTT {
-		row := make([]float32, targets)
-		for j := range row {
-			row[j] = Unresponsive
-		}
-		m.RTT[i] = row
+		m.RTT[i] = cells[i*targets : (i+1)*targets : (i+1)*targets]
 	}
 	return m
 }
+
+// Seal freezes the matrix for analysis: it caches per-VP trigonometry and
+// a column-major copy of RTT. Call it once the RTT cells are final —
+// sealing is idempotent, but writes to RTT after Seal are not reflected
+// in the cached views. Campaigns seal right after the bulk measurement
+// phases complete.
+func (m *Matrix) Seal() {
+	m.sealOnce.Do(func() {
+		m.vpTrig = make([]geo.Trig, len(m.VPs))
+		for i, p := range m.VPs {
+			m.vpTrig[i] = geo.MakeTrig(p)
+		}
+		targets := 0
+		if len(m.RTT) > 0 {
+			targets = len(m.RTT[0])
+		}
+		flat := make([]float32, targets*len(m.RTT))
+		m.cols = make([][]float32, targets)
+		for t := range m.cols {
+			m.cols[t] = flat[t*len(m.RTT) : (t+1)*len(m.RTT)]
+		}
+		for vp, row := range m.RTT {
+			for t, v := range row {
+				m.cols[t][vp] = v
+			}
+		}
+	})
+}
+
+// VPTrig returns the precomputed trigonometry of a vantage point
+// (computed on the fly when the matrix is unsealed).
+func (m *Matrix) VPTrig(vp int) geo.Trig {
+	if m.vpTrig != nil {
+		return m.vpTrig[vp]
+	}
+	return geo.MakeTrig(m.VPs[vp])
+}
+
+// column returns the sealed [vp] column of a target, nil when unsealed.
+func (m *Matrix) column(target int) []float32 {
+	if m.cols != nil {
+		return m.cols[target]
+	}
+	return nil
+}
+
+// keptCircle is a surviving constraint in a locate: the VP and its disk
+// radius.
+type keptCircle struct {
+	vp     int32
+	radius float64
+}
+
+// locateScratch holds the per-locate working set; pooled so steady-state
+// locates allocate nothing. Pool contents never influence results.
+type locateScratch struct {
+	kept []keptCircle
+	sm   geo.Sampler
+}
+
+var locatePool = sync.Pool{New: func() any { return new(locateScratch) }}
 
 // LocateSubset runs CBG for one target using only the vantage points listed
 // in subset (indices into the matrix; nil means all). It avoids building a
@@ -43,39 +116,68 @@ func NewMatrix(vps []geo.Point, targets int) *Matrix {
 // the intersection is empty.
 func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (geo.Point, bool) {
 	meters.locates.Inc()
+	col := m.column(target)
+
 	// Pass 1: tightest constraint.
 	tightIdx, tightRadius := -1, math.Inf(1)
-	eachVP(m, subset, func(vp int) {
-		rtt := m.RTT[vp][target]
-		if isUnresponsive(rtt) {
-			return
+	if subset == nil {
+		for vp := range m.RTT {
+			rtt := m.rtt(col, vp, target)
+			if isUnresponsive(rtt) {
+				continue
+			}
+			if r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs); r < tightRadius {
+				tightIdx, tightRadius = vp, r
+			}
 		}
-		r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)
-		if r < tightRadius {
-			tightIdx, tightRadius = vp, r
+	} else {
+		for _, vp := range subset {
+			rtt := m.rtt(col, vp, target)
+			if isUnresponsive(rtt) {
+				continue
+			}
+			if r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs); r < tightRadius {
+				tightIdx, tightRadius = vp, r
+			}
 		}
-	})
+	}
 	if tightIdx < 0 {
 		meters.locatesEmpty.Inc()
 		return geo.Point{}, false
 	}
-	tight := geo.Circle{Center: m.VPs[tightIdx], RadiusKm: tightRadius}
+	tightT := m.VPTrig(tightIdx)
 
-	// Pass 2: keep only constraints that can cut the tightest disk.
-	kept := make([]geo.Circle, 0, 16)
-	eachVP(m, subset, func(vp int) {
-		if vp == tightIdx {
-			return
+	// Pass 2: keep only constraints that can cut the tightest disk (the
+	// containment test over precomputed trig, bit-identical to
+	// Circle.ContainsCircle).
+	sc := locatePool.Get().(*locateScratch)
+	kept := sc.kept[:0]
+	if subset == nil {
+		for vp := range m.RTT {
+			rtt := m.rtt(col, vp, target)
+			if vp == tightIdx || isUnresponsive(rtt) {
+				continue
+			}
+			r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)
+			if geo.TrigCuts(m.VPTrig(vp), tightT, tightRadius, r) {
+				kept = append(kept, keptCircle{vp: int32(vp), radius: r})
+			}
 		}
-		rtt := m.RTT[vp][target]
-		if isUnresponsive(rtt) {
-			return
+	} else {
+		for _, vp := range subset {
+			if vp == tightIdx {
+				continue
+			}
+			rtt := m.rtt(col, vp, target)
+			if isUnresponsive(rtt) {
+				continue
+			}
+			r := geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)
+			if geo.TrigCuts(m.VPTrig(vp), tightT, tightRadius, r) {
+				kept = append(kept, keptCircle{vp: int32(vp), radius: r})
+			}
 		}
-		c := geo.Circle{Center: m.VPs[vp], RadiusKm: geo.RTTToDistanceKm(float64(rtt), speedKmPerMs)}
-		if !c.ContainsCircle(tight) {
-			kept = append(kept, c)
-		}
-	})
+	}
 
 	// In dense deployments thousands of circles survive the containment
 	// filter, but the lens is shaped by its tightest constraints: beyond
@@ -85,27 +187,56 @@ func (m *Matrix) LocateSubset(target int, subset []int, speedKmPerMs float64) (g
 	// experiments run hundreds of thousands of locates.
 	const maxConstraints = 64
 	if len(kept) > maxConstraints {
-		sort.Slice(kept, func(i, j int) bool { return kept[i].RadiusKm < kept[j].RadiusKm })
+		sort.Slice(kept, func(i, j int) bool { return kept[i].radius < kept[j].radius })
 		kept = kept[:maxConstraints]
 	}
 	meters.constraintsKept.Observe(float64(len(kept) + 1))
 
-	r := geo.Region{Circles: append(kept, tight)}
-	return r.Centroid()
+	sm := &sc.sm
+	sm.Reset()
+	for _, k := range kept {
+		sm.AddTrig(m.VPs[k.vp], m.VPTrig(int(k.vp)), k.radius)
+	}
+	sm.AddTrig(m.VPs[tightIdx], tightT, tightRadius)
+	p, ok := sm.Centroid(0, 0)
+
+	sc.kept = kept
+	locatePool.Put(sc)
+	return p, ok
+}
+
+// rtt reads one cell, through the column when available.
+func (m *Matrix) rtt(col []float32, vp, target int) float32 {
+	if col != nil {
+		return col[vp]
+	}
+	return m.RTT[vp][target]
 }
 
 // ShortestPingSubset maps the target to the subset VP with the lowest RTT.
 func (m *Matrix) ShortestPingSubset(target int, subset []int) (geo.Point, bool) {
 	best, bestRTT := -1, float32(math.Inf(1))
-	eachVP(m, subset, func(vp int) {
-		rtt := m.RTT[vp][target]
-		if isUnresponsive(rtt) {
-			return
+	col := m.column(target)
+	if col != nil && subset == nil {
+		for vp, rtt := range col {
+			if isUnresponsive(rtt) {
+				continue
+			}
+			if rtt < bestRTT {
+				best, bestRTT = vp, rtt
+			}
 		}
-		if rtt < bestRTT {
-			best, bestRTT = vp, rtt
-		}
-	})
+	} else {
+		eachVP(m, subset, func(vp int) {
+			rtt := m.rtt(col, vp, target)
+			if isUnresponsive(rtt) {
+				return
+			}
+			if rtt < bestRTT {
+				best, bestRTT = vp, rtt
+			}
+		})
+	}
 	if best < 0 {
 		return geo.Point{}, false
 	}
@@ -124,6 +255,37 @@ func (m *Matrix) ClosestVPs(target, k int) []int {
 // it to re-select replacements when chosen VPs are offline: skipping a
 // dead VP automatically backfills with the next-closest live one.
 func (m *Matrix) ClosestVPsFiltered(target, k int, keep func(vp int) bool) []int {
+	if k <= 0 {
+		return []int{}
+	}
+	col := m.column(target)
+	if k >= len(m.RTT) {
+		// Everything responsive is returned: collect once and stable-sort
+		// by RTT instead of running the quadratic insertion below. The
+		// insertion sort keeps equal-RTT VPs in ascending-index order, so
+		// the stable sort reproduces it exactly.
+		type cand struct {
+			vp  int
+			rtt float32
+		}
+		all := make([]cand, 0, len(m.RTT))
+		for vp := range m.RTT {
+			rtt := m.rtt(col, vp, target)
+			if isUnresponsive(rtt) {
+				continue
+			}
+			if keep != nil && !keep(vp) {
+				continue
+			}
+			all = append(all, cand{vp: vp, rtt: rtt})
+		}
+		sort.SliceStable(all, func(i, j int) bool { return all[i].rtt < all[j].rtt })
+		out := make([]int, len(all))
+		for i, c := range all {
+			out[i] = c.vp
+		}
+		return out
+	}
 	type cand struct {
 		vp  int
 		rtt float32
@@ -132,7 +294,7 @@ func (m *Matrix) ClosestVPsFiltered(target, k int, keep func(vp int) bool) []int
 	// in every use (the VP selection algorithm's subsets).
 	best := make([]cand, 0, k+1)
 	for vp := range m.RTT {
-		rtt := m.RTT[vp][target]
+		rtt := m.rtt(col, vp, target)
 		if isUnresponsive(rtt) {
 			continue
 		}

@@ -11,8 +11,6 @@ package core
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
 	"geoloc/internal/atlas"
 	"geoloc/internal/cbg"
@@ -20,6 +18,7 @@ import (
 	"geoloc/internal/geo"
 	"geoloc/internal/hitlist"
 	"geoloc/internal/netsim"
+	"geoloc/internal/par"
 	"geoloc/internal/sanitize"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
@@ -282,6 +281,7 @@ func (c *Campaign) BuildTargetMatrix() {
 	c.parallelRows(func(vp int) {
 		c.measureTargetRow(ctx, m, vp, nil, 0)
 	})
+	m.Seal()
 	c.TargetRTT = m
 }
 
@@ -300,35 +300,14 @@ func (c *Campaign) BuildRepMatrix() {
 	c.parallelRows(func(vp int) {
 		c.measureRepRow(ctx, m, vp, reps, nil, 0)
 	})
+	m.Seal()
 	c.RepRTT = m
 }
 
-// parallelRows runs f over every VP row using all CPUs.
-func (c *Campaign) parallelRows(f func(vp int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(c.VPs) {
-		workers = len(c.VPs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for i := 0; i < workers; i++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for vp := range next {
-				f(vp)
-			}
-		}()
-	}
-	for vp := range c.VPs {
-		next <- vp
-	}
-	close(next)
-	wg.Wait()
-}
+// parallelRows runs f over every VP row using all CPUs. Rows write into
+// disjoint matrix rows and jitter is keyed by (src, dst, salt), so the
+// matrices are bit-identical for any worker count.
+func (c *Campaign) parallelRows(f func(vp int)) { par.For(len(c.VPs), f) }
 
 func vpLocations(vps []*world.Host) []geo.Point {
 	locs := make([]geo.Point, len(vps))

@@ -238,6 +238,13 @@ func (c *Campaign) Run(ctx context.Context, rc RunConfig) (*RunResult, error) {
 		}
 		return nil, err
 	}
+	if !res.Interrupted {
+		// Both matrices are final: freeze them for the analysis phases. An
+		// interrupted run leaves them unsealed — the resuming run fills the
+		// remaining rows and seals.
+		c.TargetRTT.Seal()
+		c.RepRTT.Seal()
+	}
 	return res, nil
 }
 

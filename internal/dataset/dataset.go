@@ -34,6 +34,7 @@ import (
 	"geoloc/internal/geo"
 	"geoloc/internal/ipaddr"
 	"geoloc/internal/ipindex"
+	"geoloc/internal/par"
 	"geoloc/internal/streetlevel"
 	"geoloc/internal/telemetry"
 )
@@ -449,8 +450,18 @@ func Compile(c *core.Campaign, opts Options) *Dataset {
 		Seed:       c.W.Cfg.Seed,
 		Profile:    profile,
 	}}
-	ms := make([]cbg.Measurement, 0, len(c.VPs))
-	for t, target := range c.Targets {
+	// Per-target records fan across the analysis pool into an
+	// index-addressed slice (par determinism contract: each worker reuses
+	// its own measurement scratch, no cross-target state), then reduce
+	// into d.Records in target order — bit-identical at any worker count.
+	recs := make([]Record, len(c.Targets))
+	oks := make([]bool, len(c.Targets))
+	scratch := make([][]cbg.Measurement, par.Workers(len(c.Targets)))
+	par.ForWorker(len(c.Targets), func(w, t int) {
+		ms := scratch[w]
+		if ms == nil {
+			ms = make([]cbg.Measurement, 0, len(c.VPs))
+		}
 		ms = ms[:0]
 		for vp := range c.VPs {
 			rtt := float64(m.RTT[vp][t])
@@ -459,10 +470,15 @@ func Compile(c *core.Campaign, opts Options) *Dataset {
 			}
 			ms = append(ms, cbg.Measurement{VP: m.VPs[vp], RTTMs: rtt})
 		}
-		rec, ok := compileRecord(ms, speed)
-		if !ok {
+		scratch[w] = ms
+		recs[t], oks[t] = compileRecord(ms, speed)
+	})
+	d.Records = make([]Record, 0, len(c.Targets)+len(c.RemovedAnchors))
+	for t, target := range c.Targets {
+		if !oks[t] {
 			continue // no responsive vantage point at all: nothing to say
 		}
+		rec := recs[t]
 		rec.Prefix = ipaddr.Prefix24Of(target.Addr)
 		rec.Sanitized = true
 		d.Records = append(d.Records, rec)

@@ -7,12 +7,14 @@ package experiments
 
 import (
 	"fmt"
-	"runtime"
+	"math"
 	"sort"
 	"strings"
 	"sync"
 
 	"geoloc/internal/core"
+	"geoloc/internal/geo"
+	"geoloc/internal/par"
 	"geoloc/internal/stats"
 	"geoloc/internal/streetlevel"
 	"geoloc/internal/telemetry"
@@ -37,8 +39,6 @@ type Report struct {
 // header render fine (extra columns are sized from the rows alone), and a
 // notes-only report (no header, no rows) renders just its title and notes.
 func (r *Report) Render() string {
-	var b strings.Builder
-	fmt.Fprintf(&b, "== %s — %s (%s)\n", r.ID, r.Title, r.PaperRef)
 	cols := len(r.Header)
 	for _, row := range r.Rows {
 		if len(row) > cols {
@@ -56,6 +56,17 @@ func (r *Report) Render() string {
 			}
 		}
 	}
+	var b strings.Builder
+	lineWidth := 1 // newline
+	for _, w := range widths {
+		lineWidth += w + 2
+	}
+	grow := (len(r.Rows)+2)*lineWidth + len(r.ID) + len(r.Title) + len(r.PaperRef) + 16
+	for _, n := range r.Notes {
+		grow += len(n) + 8
+	}
+	b.Grow(grow)
+	fmt.Fprintf(&b, "== %s — %s (%s)\n", r.ID, r.Title, r.PaperRef)
 	line := func(cells []string) {
 		for i, cell := range cells {
 			if i > 0 {
@@ -122,8 +133,43 @@ type Context struct {
 	twoStepOnce sync.Once
 	twoStep     *twoStepRun
 
+	allCBGOnce sync.Once
+	allCBGErrs []float64
+
 	allOnce    sync.Once
 	allReports []*Report
+}
+
+// allVPErrors returns the per-target CBG error using every vantage point
+// (NaN where CBG cannot locate), computed once per context: Fig 2c, 3a,
+// 3b, and 4 all report this same baseline row. Callers must not mutate
+// the returned slice.
+func (ctx *Context) allVPErrors() []float64 {
+	ctx.allCBGOnce.Do(func() {
+		c := ctx.C
+		errs := make([]float64, len(c.Targets))
+		parallelFor(len(c.Targets), func(ti int) {
+			errs[ti] = math.NaN()
+			if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
+				errs[ti] = c.ErrorKm(ti, est)
+			}
+		})
+		ctx.allCBGErrs = errs
+	})
+	return ctx.allCBGErrs
+}
+
+// compactNaN returns the non-NaN values of v in order, in a fresh slice
+// (dropNaN filters in place; this is its non-destructive sibling for
+// shared slices).
+func compactNaN(v []float64) []float64 {
+	out := make([]float64, 0, len(v))
+	for _, x := range v {
+		if !math.IsNaN(x) {
+			out = append(out, x)
+		}
+	}
+	return out
 }
 
 // NewContext builds a campaign from the config and prepares the matrices.
@@ -152,32 +198,11 @@ func (ctx *Context) StreetResults() []streetlevel.Result {
 	return ctx.slResults
 }
 
-// parallelFor runs f(0..n-1) across all CPUs.
-func parallelFor(n int, f func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var wg sync.WaitGroup
-	next := make(chan int, workers)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				f(i)
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-}
+// parallelFor runs f(0..n-1) across all CPUs via the deterministic
+// analysis pool. Callers follow the par determinism contract: results go
+// into index-addressed slices, reductions happen in index order after it
+// returns.
+func parallelFor(n int, f func(i int)) { par.For(n, f) }
 
 // cdfThresholdsKm are the error marks every CDF row reports.
 var cdfThresholdsKm = []float64{1, 5, 10, 40, 100, 300, 1000}

@@ -6,6 +6,7 @@ import (
 
 	"geoloc/internal/asclass"
 	"geoloc/internal/geo"
+	"geoloc/internal/par"
 	"geoloc/internal/rhash"
 	"geoloc/internal/stats"
 	"geoloc/internal/vpsel"
@@ -107,32 +108,33 @@ func Fig2a(ctx *Context) *Report {
 }
 
 // trialMedians runs CBG over `trials` random subsets of the given size and
-// returns the per-trial median error.
+// returns the per-trial median error. The work is fanned at (trial,
+// target) grain — one locate per index — into an index-addressed grid;
+// the per-trial medians are reduced from it in trial order.
 func trialMedians(ctx *Context, size, trials int) []float64 {
 	c := ctx.C
-	medians := make([]float64, trials)
-	parallelFor(trials, func(trial int) {
+	nt := len(c.Targets)
+	subsets := make([][]int, trials)
+	for trial := range subsets {
 		st := rhash.New(ctx.Opts.Seed, rhash.HashString("fig2a"), uint64(size), uint64(trial))
-		subset := randomSubset(st, len(c.VPs), size)
-		var errs []float64
-		for ti := range c.Targets {
-			if est, ok := c.TargetRTT.LocateSubset(ti, subset, geo.TwoThirdsC); ok {
-				errs = append(errs, c.ErrorKm(ti, est))
-			}
-		}
-		if len(errs) > 0 {
-			medians[trial] = stats.MustMedian(errs)
-		} else {
-			medians[trial] = math.NaN()
+		subsets[trial] = randomSubset(st, len(c.VPs), size)
+	}
+	grid := make([]float64, trials*nt)
+	parallelFor(trials*nt, func(i int) {
+		trial, ti := i/nt, i%nt
+		grid[i] = math.NaN()
+		if est, ok := c.TargetRTT.LocateSubset(ti, subsets[trial], geo.TwoThirdsC); ok {
+			grid[i] = c.ErrorKm(ti, est)
 		}
 	})
-	out := medians[:0]
-	for _, m := range medians {
-		if !math.IsNaN(m) {
-			out = append(out, m)
+	medians := make([]float64, 0, trials)
+	for trial := 0; trial < trials; trial++ {
+		errs := dropNaN(grid[trial*nt : (trial+1)*nt])
+		if len(errs) > 0 {
+			medians = append(medians, stats.MustMedian(errs))
 		}
 	}
-	return out
+	return medians
 }
 
 // randomSubset draws size distinct indices from [0, n).
@@ -204,35 +206,49 @@ func Fig2c(ctx *Context) *Report {
 		Header:   cdfHeader("VP filter"),
 	}
 
-	all := make([]float64, 0, len(c.Targets))
-	for ti := range c.Targets {
-		if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
-			all = append(all, c.ErrorKm(ti, est))
-		}
-	}
-	rep.Rows = append(rep.Rows, cdfRow("all VPs", all))
+	rep.Rows = append(rep.Rows, cdfRow("all VPs", compactNaN(ctx.allVPErrors())))
 
-	for _, minDist := range []float64{40, 100, 500, 1000} {
-		errs := make([]float64, len(c.Targets))
-		parallelFor(len(c.Targets), func(ti int) {
-			errs[ti] = math.NaN()
-			var subset []int
-			for vp, h := range c.VPs {
-				if geo.Distance(h.Reported, c.Targets[ti].Loc) > minDist {
-					subset = append(subset, vp)
+	// One VP-distance pass per target serves all four thresholds; the
+	// filtered subsets are built in per-worker scratch and the errors land
+	// in an index-addressed [threshold][target] grid.
+	thresholds := []float64{40, 100, 500, 1000}
+	nt := len(c.Targets)
+	errs := make([]float64, len(thresholds)*nt)
+	type scratch struct {
+		dist   []float64
+		subset []int
+	}
+	scr := make([]scratch, par.Workers(nt))
+	par.ForWorker(nt, func(w, ti int) {
+		s := &scr[w]
+		if s.dist == nil {
+			s.dist = make([]float64, len(c.VPs))
+			s.subset = make([]int, 0, len(c.VPs))
+		}
+		tt := geo.MakeTrig(c.Targets[ti].Loc)
+		for vp := range c.VPs {
+			s.dist[vp] = geo.TrigDistance(c.TargetRTT.VPTrig(vp), tt)
+		}
+		for thi, minDist := range thresholds {
+			s.subset = s.subset[:0]
+			for vp := range c.VPs {
+				if s.dist[vp] > minDist {
+					s.subset = append(s.subset, vp)
 				}
 			}
+			subset := s.subset
+			if len(subset) == 0 {
+				subset = nil // an empty filter falls back to all VPs, as before
+			}
+			e := math.NaN()
 			if est, ok := c.TargetRTT.LocateSubset(ti, subset, geo.TwoThirdsC); ok {
-				errs[ti] = c.ErrorKm(ti, est)
+				e = c.ErrorKm(ti, est)
 			}
-		})
-		var clean []float64
-		for _, e := range errs {
-			if !math.IsNaN(e) {
-				clean = append(clean, e)
-			}
+			errs[thi*nt+ti] = e
 		}
-		rep.Rows = append(rep.Rows, cdfRow(fmt.Sprintf("VPs > %.0f km", minDist), clean))
+	})
+	for thi, minDist := range thresholds {
+		rep.Rows = append(rep.Rows, cdfRow(fmt.Sprintf("VPs > %.0f km", minDist), dropNaN(errs[thi*nt:(thi+1)*nt])))
 	}
 	rep.Notes = append(rep.Notes,
 		"paper: removing VPs closer than 40 km moves the median from 8 km to 120 km and drops the ≤40 km share from 73% to 6%")
@@ -263,13 +279,7 @@ func Fig3a(ctx *Context) *Report {
 		})
 		rep.Rows = append(rep.Rows, cdfRow(fmt.Sprintf("%d closest VP (RTT)", k), dropNaN(errs)))
 	}
-	all := make([]float64, 0, len(c.Targets))
-	for ti := range c.Targets {
-		if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
-			all = append(all, c.ErrorKm(ti, est))
-		}
-	}
-	rep.Rows = append(rep.Rows, cdfRow("all VPs", all))
+	rep.Rows = append(rep.Rows, cdfRow("all VPs", compactNaN(ctx.allVPErrors())))
 	rep.Notes = append(rep.Notes,
 		"paper: the single closest VP outperforms all alternatives below 40 km (62% ≤10 km vs 52% for all VPs)")
 	return rep
@@ -341,7 +351,6 @@ func (ctx *Context) computeTwoStep() *twoStepRun {
 // Fig3b reproduces Fig 3b: accuracy of the two-step VP selection for
 // different first-step subset sizes, against all VPs.
 func Fig3b(ctx *Context) *Report {
-	c := ctx.C
 	run := ctx.runTwoStep()
 	rep := &Report{
 		ID:       "fig3b",
@@ -349,13 +358,7 @@ func Fig3b(ctx *Context) *Report {
 		PaperRef: "Fig 3b / §5.1.4",
 		Header:   cdfHeader("first step"),
 	}
-	all := make([]float64, 0, len(c.Targets))
-	for ti := range c.Targets {
-		if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
-			all = append(all, c.ErrorKm(ti, est))
-		}
-	}
-	rep.Rows = append(rep.Rows, cdfRow("all VPs", all))
+	rep.Rows = append(rep.Rows, cdfRow("all VPs", compactNaN(ctx.allVPErrors())))
 	for _, size := range run.firstStepSizes {
 		if errs, ok := run.errs[size]; ok {
 			rep.Rows = append(rep.Rows, cdfRow(fmt.Sprintf("%d VPs", size), errs))
@@ -404,20 +407,31 @@ func Fig4(ctx *Context) *Report {
 		PaperRef: "Fig 4 / §5.1.5",
 		Header:   cdfHeader("continent"),
 	}
+	// Per-target verdicts in parallel (the error row is the shared all-VPs
+	// baseline; the VP-proximity scan uses precomputed trig), reduced into
+	// the per-continent maps in target order.
+	allErrs := ctx.allVPErrors()
+	close40 := make([]bool, len(c.Targets))
+	parallelFor(len(c.Targets), func(ti int) {
+		tt := geo.MakeTrig(c.Targets[ti].Loc)
+		for vp, h := range c.VPs {
+			if h.ID != c.Targets[ti].ID && geo.TrigDistance(c.TargetRTT.VPTrig(vp), tt) <= 40 {
+				close40[ti] = true
+				break
+			}
+		}
+	})
 	perCont := make(map[world.Continent][]float64)
 	var haveClose40 = make(map[world.Continent][2]int)
 	for ti := range c.Targets {
 		ct := c.TargetContinent(ti)
-		if est, ok := c.TargetRTT.LocateSubset(ti, nil, geo.TwoThirdsC); ok {
-			perCont[ct] = append(perCont[ct], c.ErrorKm(ti, est))
+		if !math.IsNaN(allErrs[ti]) {
+			perCont[ct] = append(perCont[ct], allErrs[ti])
 		}
 		counts := haveClose40[ct]
 		counts[1]++
-		for _, h := range c.VPs {
-			if h.ID != c.Targets[ti].ID && geo.Distance(h.Reported, c.Targets[ti].Loc) <= 40 {
-				counts[0]++
-				break
-			}
+		if close40[ti] {
+			counts[0]++
 		}
 		haveClose40[ct] = counts
 	}

@@ -127,11 +127,13 @@ func (r *Region) SamplePoints(rings, bearings int) []Point {
 // when the chosen speed-of-Internet constant is too aggressive (the street
 // level paper's 4/9c fails for a handful of targets, §5.2.1).
 func (r *Region) Centroid() (Point, bool) {
-	pts := r.SamplePoints(DefaultSampleRings, DefaultSampleBearings)
-	if pts == nil {
-		return Point{}, false
+	sm := GetSampler()
+	for _, c := range r.Circles {
+		sm.Add(c)
 	}
-	return Centroid(pts)
+	p, ok := sm.Centroid(DefaultSampleRings, DefaultSampleBearings)
+	PutSampler(sm)
+	return p, ok
 }
 
 // AreaKm2 estimates the area of the region intersection (km²) using the same

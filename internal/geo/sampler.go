@@ -1,0 +1,244 @@
+package geo
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Sampler estimates region-intersection centroids with reusable scratch
+// buffers and precomputed trigonometry. It is the allocation-free,
+// libm-light reimplementation of the Region.Reduced → SamplePoints →
+// Centroid chain, and it is deliberately bit-exact with respect to that
+// chain: same reduction rule (including the ascending-radius sort, whose
+// permutation decides the sample center when radii tie exactly), same
+// polar-grid expressions in the same association order, same
+// round-trip of each sample point through degrees before the containment
+// checks, and the same centroid accumulation order. Any cheaper variant
+// that broke one of these rules would shift outputs by ulps and break the
+// golden digests.
+//
+// A Sampler is single-goroutine scratch; use one per worker or the
+// package pool (Region.Centroid does). Add constraints between Reset and
+// Centroid; Points remains valid until the next Reset.
+type Sampler struct {
+	cs   []TrigCircle
+	keep []int32
+	pts  []Point
+	sinB []float64
+	cosB []float64
+}
+
+// Reset clears the constraint set for reuse.
+func (sm *Sampler) Reset() { sm.cs = sm.cs[:0] }
+
+// Add appends a constraint circle.
+func (sm *Sampler) Add(c Circle) {
+	sm.cs = append(sm.cs, MakeTrigCircle(c))
+}
+
+// AddTrig appends a constraint circle whose center trigonometry the
+// caller already has (the CBG matrix caches per-VP trig).
+func (sm *Sampler) AddTrig(center Point, t Trig, radiusKm float64) {
+	sm.cs = append(sm.cs, makeTrigCircleAt(center, t, radiusKm))
+}
+
+// Len returns the number of constraints added since the last Reset.
+func (sm *Sampler) Len() int { return len(sm.cs) }
+
+// Points returns the accepted sample points of the last Centroid call,
+// in grid order (center first). The slice is scratch: valid until the
+// sampler is next used.
+func (sm *Sampler) Points() []Point { return sm.pts }
+
+// containsAll reports whether the point satisfies every reduced
+// constraint — the Region.Contains loop over calibrated thresholds.
+// The loop is a conjunction of exact side-effect-free predicates, so the
+// evaluation order cannot change the verdict; it only decides how many
+// circles a rejected point pays for. Consecutive grid points are
+// spatially adjacent, so the circle that cut the last point usually cuts
+// the next one too: a rejecting circle is swapped to the front of keep,
+// which collapses the common miss from ~len(keep)/2 tests to ~1.
+func (sm *Sampler) containsAll(p Trig) bool {
+	for idx, ki := range sm.keep {
+		// Inline ContainsTrig (same expression tree, same screens); the
+		// indirect call cost shows up at this depth.
+		c := &sm.cs[ki]
+		dlat := p.LatRad - c.T.LatRad
+		adlat := math.Abs(dlat)
+		if adlat >= latScreenMin && adlat <= latScreenMax &&
+			EarthRadiusKm*adlat*(1-distBoundMargin) > c.RadiusKm {
+			sm.keep[0], sm.keep[idx] = ki, sm.keep[0]
+			return false
+		}
+		dlon := p.LonRad - c.T.LonRad
+		adlon := math.Abs(dlon)
+		if adlon > math.Pi {
+			adlon = 2*math.Pi - adlon
+		}
+		cmin := c.T.CosLat
+		if p.CosLat < cmin {
+			cmin = p.CosLat
+		}
+		if (EarthRadiusKm*(adlat+adlon*cmin)+distPadKm)*(1+distBoundMargin) <= c.RadiusKm {
+			continue
+		}
+		sl := math.Sin(dlat / 2)
+		if t := sl * sl; t > c.sMax+sSlack {
+			sm.keep[0], sm.keep[idx] = ki, sm.keep[0]
+			return false
+		}
+		sn := math.Sin(dlon / 2)
+		s := sl*sl + c.T.CosLat*p.CosLat*sn*sn
+		if s < 0 {
+			s = 0
+		}
+		if s > 1 {
+			s = 1
+		}
+		if s > c.sMax {
+			sm.keep[0], sm.keep[idx] = ki, sm.keep[0]
+			return false
+		}
+	}
+	return true
+}
+
+// Centroid estimates the centroid of the constraint intersection on a
+// rings × bearings polar grid (non-positive values select the package
+// defaults). ok is false when no constraints were added or the sampled
+// intersection is empty — exactly when Region.Centroid would report it.
+func (sm *Sampler) Centroid(rings, bearings int) (Point, bool) {
+	if len(sm.cs) == 0 {
+		return Point{}, false
+	}
+	if rings <= 0 {
+		rings = DefaultSampleRings
+	}
+	if bearings <= 0 {
+		bearings = DefaultSampleBearings
+	}
+
+	// Reduction, replicating Region.Reduced: the tightest circle is the
+	// *first* minimum-radius circle in insertion order; survivors are the
+	// tightest's duplicates and every circle not wholly containing it; the
+	// survivor order is the ascending-radius sort of the original — the
+	// indices are sorted with the same comparator over the same initial
+	// order, so the permutation (and with it the tie-breaking of equal
+	// radii) is identical.
+	tightIdx := 0
+	for i := 1; i < len(sm.cs); i++ {
+		if sm.cs[i].RadiusKm < sm.cs[tightIdx].RadiusKm {
+			tightIdx = i
+		}
+	}
+	tight0 := sm.cs[tightIdx]
+	sm.keep = sm.keep[:0]
+	for i := range sm.cs {
+		c := &sm.cs[i]
+		if (c.Center == tight0.Center && c.RadiusKm == tight0.RadiusKm) ||
+			TrigCuts(c.T, tight0.T, tight0.RadiusKm, c.RadiusKm) {
+			sm.keep = append(sm.keep, int32(i))
+		}
+	}
+	sort.Slice(sm.keep, func(a, b int) bool {
+		return sm.cs[sm.keep[a]].RadiusKm < sm.cs[sm.keep[b]].RadiusKm
+	})
+	if len(sm.keep) == 0 {
+		return Point{}, false
+	}
+	// Ascending order: keep[0] is the sample center. Captured by index
+	// into cs before sampling — containsAll is then free to reorder keep.
+	tc := &sm.cs[sm.keep[0]]
+
+	sm.pts = sm.pts[:0]
+	var x, y, z float64
+	n := 0
+	// Accumulate the 3-D vector mean inline, in grid order, with the same
+	// per-point products Centroid computes from degrees.
+	accumulate := func(p Point, t Trig) {
+		sm.pts = append(sm.pts, p)
+		x += t.CosLat * math.Cos(t.LonRad)
+		y += t.CosLat * math.Sin(t.LonRad)
+		z += math.Sin(t.LatRad)
+		n++
+	}
+
+	if sm.containsAll(tc.T) {
+		accumulate(tc.Center, tc.T)
+	}
+
+	// Hoisted Destination: the bearing trig is ring-invariant and the
+	// angular-distance trig is bearing-invariant. The residual per-point
+	// expressions keep Destination's exact association order.
+	if cap(sm.sinB) < bearings {
+		sm.sinB = make([]float64, bearings)
+		sm.cosB = make([]float64, bearings)
+	}
+	sinB, cosB := sm.sinB[:bearings], sm.cosB[:bearings]
+	for bi := 0; bi < bearings; bi++ {
+		brng := deg2rad(360 * float64(bi) / float64(bearings))
+		sinB[bi] = math.Sin(brng)
+		cosB[bi] = math.Cos(brng)
+	}
+	sinLat1 := math.Sin(tc.T.LatRad)
+	cosLat1 := tc.T.CosLat
+	lon1 := tc.T.LonRad
+	for ri := 1; ri <= rings; ri++ {
+		rad := tc.RadiusKm * float64(ri) / float64(rings)
+		ad := rad / EarthRadiusKm
+		sinAd, cosAd := math.Sin(ad), math.Cos(ad)
+		t1 := sinLat1 * cosAd
+		t2 := cosLat1 * sinAd
+		for bi := 0; bi < bearings; bi++ {
+			lat2 := math.Asin(t1 + t2*cosB[bi])
+			sinLat2 := math.Sin(lat2)
+			lon2 := lon1 + math.Atan2(sinB[bi]*sinAd*cosLat1, cosAd-sinLat1*sinLat2)
+			lat2d := rad2deg(lat2)
+			lon2d := rad2deg(lon2)
+			for lon2d > 180 {
+				lon2d -= 360
+			}
+			for lon2d < -180 {
+				lon2d += 360
+			}
+			// Containment (and the centroid accumulation) see the point as
+			// Contains would: re-derived from its degree representation.
+			pLat := deg2rad(lat2d)
+			pt := Trig{LatRad: pLat, LonRad: deg2rad(lon2d), CosLat: math.Cos(pLat)}
+			if sm.containsAll(pt) {
+				accumulate(Point{Lat: lat2d, Lon: lon2d}, pt)
+			}
+		}
+	}
+
+	if n == 0 {
+		return Point{}, false
+	}
+	fn := float64(n)
+	x, y, z = x/fn, y/fn, z/fn
+	norm := math.Sqrt(x*x + y*y + z*z)
+	if norm < 1e-12 {
+		return Point{}, false
+	}
+	return Point{
+		Lat: rad2deg(math.Asin(z / norm)),
+		Lon: rad2deg(math.Atan2(y, x)),
+	}, true
+}
+
+// samplerPool backs Region.Centroid and other call sites without a
+// natural place to keep per-worker scratch. Pool contents never influence
+// results — a sampler is reset before use — so pooling is
+// determinism-safe.
+var samplerPool = sync.Pool{New: func() any { return new(Sampler) }}
+
+// GetSampler borrows a reset sampler from the package pool.
+func GetSampler() *Sampler {
+	sm := samplerPool.Get().(*Sampler)
+	sm.Reset()
+	return sm
+}
+
+// PutSampler returns a sampler to the package pool.
+func PutSampler(sm *Sampler) { samplerPool.Put(sm) }

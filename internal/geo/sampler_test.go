@@ -1,0 +1,146 @@
+package geo
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// legacyRegionCentroid is the pre-sampler implementation of
+// Region.Centroid, kept in the tests as the bit-identity oracle.
+func legacyRegionCentroid(r *Region) (Point, bool) {
+	pts := r.SamplePoints(DefaultSampleRings, DefaultSampleBearings)
+	if pts == nil {
+		return Point{}, false
+	}
+	return Centroid(pts)
+}
+
+// randRegion builds a plausible CBG constraint set: circles whose centers
+// all see a common "true" point, radii inflated by random slack, plus the
+// occasional redundant giant and exact-duplicate circle.
+func randRegion(rng *rand.Rand) Region {
+	truth := randPoint(rng)
+	var r Region
+	n := rng.Intn(12) + 1
+	for i := 0; i < n; i++ {
+		vp := randPoint(rng)
+		d := Distance(vp, truth)
+		c := Circle{Center: vp, RadiusKm: d * (1 + rng.Float64())}
+		r.Add(c)
+		if rng.Intn(8) == 0 {
+			r.Add(c) // exact duplicate: Reduced keeps tight-duplicates
+		}
+	}
+	if rng.Intn(4) == 0 {
+		r.Add(Circle{Center: randPoint(rng), RadiusKm: 30000}) // redundant
+	}
+	return r
+}
+
+// TestSamplerCentroidBitIdentical compares the sampler against the
+// legacy SamplePoints+Centroid chain on random constraint sets — every
+// centroid must match bit for bit, including the ok flag.
+func TestSamplerCentroidBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	iters := 3000
+	if testing.Short() {
+		iters = 500
+	}
+	var sm Sampler
+	for i := 0; i < iters; i++ {
+		r := randRegion(rng)
+		wantP, wantOK := legacyRegionCentroid(&r)
+		sm.Reset()
+		for _, c := range r.Circles {
+			sm.Add(c)
+		}
+		gotP, gotOK := sm.Centroid(DefaultSampleRings, DefaultSampleBearings)
+		if gotOK != wantOK || gotP != wantP {
+			t.Fatalf("region %d (%d circles): sampler = %v,%v; legacy = %v,%v",
+				i, len(r.Circles), gotP, gotOK, wantP, wantOK)
+		}
+		// Region.Centroid routes through the pool; it must agree too.
+		poolP, poolOK := r.Centroid()
+		if poolOK != wantOK || poolP != wantP {
+			t.Fatalf("region %d: Region.Centroid = %v,%v; legacy = %v,%v",
+				i, poolP, poolOK, wantP, wantOK)
+		}
+	}
+}
+
+// TestSamplerTieOnMinimumRadius forces exact radius ties at the minimum
+// (multiple zero-radius circles at distinct centers): the sample center
+// is then decided by the reduction sort's permutation, which the sampler
+// must reproduce.
+func TestSamplerTieOnMinimumRadius(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	var sm Sampler
+	for i := 0; i < 2000; i++ {
+		var r Region
+		n := rng.Intn(6) + 2
+		tied := rng.Float64() * 50
+		for j := 0; j < n; j++ {
+			center := Point{Lat: rng.Float64()*2 - 1, Lon: rng.Float64()*2 - 1}
+			radius := tied
+			if rng.Intn(2) == 0 {
+				radius = tied + rng.Float64()*500
+			}
+			r.Add(Circle{Center: center, RadiusKm: radius})
+		}
+		wantP, wantOK := legacyRegionCentroid(&r)
+		sm.Reset()
+		for _, c := range r.Circles {
+			sm.Add(c)
+		}
+		gotP, gotOK := sm.Centroid(0, 0)
+		if gotOK != wantOK || gotP != wantP {
+			t.Fatalf("tie region %d: sampler = %v,%v; legacy = %v,%v", i, gotP, gotOK, wantP, wantOK)
+		}
+	}
+}
+
+// TestSamplerEmptyAndUnconstrained covers the false-returning paths.
+func TestSamplerEmptyAndUnconstrained(t *testing.T) {
+	var sm Sampler
+	if _, ok := sm.Centroid(0, 0); ok {
+		t.Fatal("empty sampler returned ok")
+	}
+	// Mutually inconsistent constraints: two small far-apart circles.
+	sm.Reset()
+	sm.Add(Circle{Center: Point{Lat: 0, Lon: 0}, RadiusKm: 10})
+	sm.Add(Circle{Center: Point{Lat: 0, Lon: 90}, RadiusKm: 10})
+	if _, ok := sm.Centroid(0, 0); ok {
+		t.Fatal("inconsistent constraints returned ok")
+	}
+	var r Region
+	r.Add(Circle{Center: Point{Lat: 0, Lon: 0}, RadiusKm: 10})
+	r.Add(Circle{Center: Point{Lat: 0, Lon: 90}, RadiusKm: 10})
+	if _, ok := r.Centroid(); ok {
+		t.Fatal("Region.Centroid on inconsistent constraints returned ok")
+	}
+}
+
+// TestSamplerReuse checks a sampler instance produces identical results
+// across reuses (scratch state never leaks into results).
+func TestSamplerReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	regions := make([]Region, 50)
+	for i := range regions {
+		regions[i] = randRegion(rng)
+	}
+	var sm Sampler
+	run := func(r *Region) (Point, bool) {
+		sm.Reset()
+		for _, c := range r.Circles {
+			sm.Add(c)
+		}
+		return sm.Centroid(0, 0)
+	}
+	for i := range regions {
+		p1, ok1 := run(&regions[i])
+		p2, ok2 := run(&regions[i])
+		if p1 != p2 || ok1 != ok2 {
+			t.Fatalf("region %d: reuse changed result: %v,%v vs %v,%v", i, p1, ok1, p2, ok2)
+		}
+	}
+}

@@ -171,8 +171,10 @@ func Build(entries []Entry, cacheSize int) *Index {
 		lo, hi uint32
 		owner  int32
 	}
-	var flat []span
-	var stack []int32
+	// Each of the n entries opens at most one interval and closes at most
+	// one more around its end, so 2n+1 bounds the flat span count.
+	flat := make([]span, 0, 2*len(ix.entries)+1)
+	stack := make([]int32, 0, 32)
 	pos := uint64(0)
 	hiOf := func(i int32) uint64 {
 		_, hi := ix.entries[i].Prefix.Range()
@@ -201,7 +203,24 @@ func Build(entries []Entry, cacheSize int) *Index {
 	}
 	ix.spans = len(flat)
 
-	// Clip the flat intervals into top-octet shards.
+	// Clip the flat intervals into top-octet shards. A counting pass
+	// pre-sizes each shard's parallel slices exactly, so the append pass
+	// never reallocates (the spans-per-shard skew makes growth-doubling
+	// waste real memory at internet scale).
+	var perShard [numShards]int
+	for _, sp := range flat {
+		for s := sp.lo >> 24; s <= sp.hi>>24; s++ {
+			perShard[s]++
+		}
+	}
+	for s, n := range perShard {
+		if n > 0 {
+			sh := &ix.shards[s]
+			sh.starts = make([]uint32, 0, n)
+			sh.ends = make([]uint32, 0, n)
+			sh.owner = make([]int32, 0, n)
+		}
+	}
 	for _, sp := range flat {
 		for s := sp.lo >> 24; s <= sp.hi>>24; s++ {
 			shardLo, shardHi := s<<24, s<<24|0x00FF_FFFF

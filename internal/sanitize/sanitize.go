@@ -10,6 +10,7 @@ import (
 
 	"geoloc/internal/atlas"
 	"geoloc/internal/geo"
+	"geoloc/internal/par"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
@@ -48,17 +49,21 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 		hosts[i] = p.W.Host(id)
 	}
 
-	// Measure the mesh once; each ordered pair is one measurement.
-	holes := 0
+	// Measure the mesh once; each ordered pair is one measurement. Rows
+	// fan across the analysis pool: the pair (i, j>i) is owned by worker
+	// row i alone (both mirror cells), so writes never overlap; ping
+	// jitter is keyed by (src, dst, salt), and the hole counts reduce in
+	// row order — the mesh is bit-identical at any worker count.
 	viol := make([][]bool, n)
 	for i := range viol {
 		viol[i] = make([]bool, n)
 	}
-	for i := 0; i < n; i++ {
+	rowHoles := make([]int, n)
+	par.For(n, func(i int) {
 		for j := i + 1; j < n; j++ {
 			rtt, ok := p.Ping(hosts[i], hosts[j], saltMesh)
 			if !ok {
-				holes++
+				rowHoles[i]++
 				continue
 			}
 			if violates(rtt, hosts[i].Reported, hosts[j].Reported) {
@@ -66,6 +71,10 @@ func Anchors(p *atlas.Platform, anchorIDs []int) AnchorResult {
 				viol[j][i] = true
 			}
 		}
+	})
+	holes := 0
+	for _, h := range rowHoles {
+		holes += h
 	}
 
 	counts := make([]int, n)
@@ -135,22 +144,28 @@ func Probes(p *atlas.Platform, probeIDs, trustedAnchorIDs []int) ProbeResult {
 	for i, id := range trustedAnchorIDs {
 		anchors[i] = p.W.Host(id)
 	}
-	for _, pid := range probeIDs {
-		probe := p.W.Host(pid)
-		count := 0
+	// Per-probe verdicts fan across the analysis pool into index-addressed
+	// slices; the Kept/Removed partition reduces in probe order afterward.
+	counts := make([]int, len(probeIDs))
+	probeHoles := make([]int, len(probeIDs))
+	par.For(len(probeIDs), func(pi int) {
+		probe := p.W.Host(probeIDs[pi])
 		for _, a := range anchors {
 			rtt, ok := p.Ping(probe, a, saltProbeCheck)
 			if !ok {
-				res.Holes++
+				probeHoles[pi]++
 				continue
 			}
 			if violates(rtt, probe.Reported, a.Reported) {
-				count++
+				counts[pi]++
 			}
 		}
-		if count > 0 {
+	})
+	for pi, pid := range probeIDs {
+		res.Holes += probeHoles[pi]
+		if counts[pi] > 0 {
 			res.Removed = append(res.Removed, pid)
-			res.Violations[pid] = count
+			res.Violations[pid] = counts[pi]
 		} else {
 			res.Kept = append(res.Kept, pid)
 		}

@@ -7,6 +7,8 @@ import (
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"sync"
 )
 
@@ -34,10 +36,17 @@ type CLI struct {
 	// PprofAddr, when non-empty, serves net/http/pprof and /debug/vars
 	// (including live registry snapshots) on the address.
 	PprofAddr string
+	// CPUProfile, when non-empty, records a CPU profile of the whole run
+	// (Start to Finish) into the file.
+	CPUProfile string
+	// MemProfile, when non-empty, writes a heap profile (after a final GC,
+	// so it shows live memory rather than collectable garbage) on Finish.
+	MemProfile string
 
-	mu   sync.Mutex
-	regs []labeledRegistry
-	done bool
+	mu         sync.Mutex
+	regs       []labeledRegistry
+	done       bool
+	cpuProfile *os.File
 }
 
 type labeledRegistry struct {
@@ -57,13 +66,18 @@ func NewCLI() *CLI {
 		"write campaign-phase spans to this file in Chrome trace-event format")
 	flag.StringVar(&c.PprofAddr, "pprof", "",
 		"serve net/http/pprof and /debug/vars (with live telemetry) on this address, e.g. :6060")
+	flag.StringVar(&c.CPUProfile, "cpuprofile", "",
+		"write a CPU profile of the run to this file (inspect with go tool pprof)")
+	flag.StringVar(&c.MemProfile, "memprofile", "",
+		"write an end-of-run heap profile to this file (inspect with go tool pprof)")
 	c.Attach("pipeline", Default())
 	return c
 }
 
 // Active reports whether any telemetry flag was used.
 func (c *CLI) Active() bool {
-	return c.Metrics || c.MetricsJSON != "" || c.TraceOut != "" || c.PprofAddr != ""
+	return c.Metrics || c.MetricsJSON != "" || c.TraceOut != "" || c.PprofAddr != "" ||
+		c.CPUProfile != "" || c.MemProfile != ""
 }
 
 // Attach adds a registry to the dump/serve set under the given label.
@@ -92,6 +106,19 @@ func (c *CLI) Start() {
 			}
 		}()
 	}
+	if c.CPUProfile != "" {
+		f, err := os.Create(c.CPUProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: cpuprofile: %v\n", err)
+		} else if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "telemetry: cpuprofile: %v\n", err)
+			f.Close()
+		} else {
+			c.mu.Lock()
+			c.cpuProfile = f
+			c.mu.Unlock()
+		}
+	}
 }
 
 func (c *CLI) snapshotAll() map[string]Snapshot {
@@ -116,8 +143,24 @@ func (c *CLI) Finish() error {
 	}
 	c.done = true
 	regs := append([]labeledRegistry(nil), c.regs...)
+	cpu := c.cpuProfile
+	c.cpuProfile = nil
 	c.mu.Unlock()
 
+	if cpu != nil {
+		pprof.StopCPUProfile()
+		if err := cpu.Close(); err != nil {
+			return fmt.Errorf("telemetry: cpuprofile: %w", err)
+		}
+	}
+	if c.MemProfile != "" {
+		runtime.GC() // show live memory, not collectable garbage
+		if err := writeFileWith(c.MemProfile, func(w io.Writer) error {
+			return pprof.WriteHeapProfile(w)
+		}); err != nil {
+			return fmt.Errorf("telemetry: memprofile: %w", err)
+		}
+	}
 	if c.Metrics {
 		for _, lr := range regs {
 			fmt.Fprintf(os.Stderr, "== telemetry [%s]\n", lr.label)

@@ -15,6 +15,7 @@ import (
 
 	"geoloc/internal/cbg"
 	"geoloc/internal/geo"
+	"geoloc/internal/par"
 	"geoloc/internal/telemetry"
 )
 
@@ -79,15 +80,26 @@ func GreedyCover(locs []geo.Point, n int) []int {
 		return out
 	}
 
+	tr := make([]geo.Trig, len(locs))
+	for i, p := range locs {
+		tr[i] = geo.MakeTrig(p)
+	}
+
 	// Seed: the location with the greatest summed log-distance to a strided
 	// sample (O(V·S) rather than O(V²); the stride keeps it deterministic).
+	// Per-candidate sums go into an index-addressed slice; the argmax scans
+	// it in index order, so the parallel fan changes nothing.
 	stride := len(locs)/97 + 1
-	seed, seedScore := 0, math.Inf(-1)
-	for i, p := range locs {
+	sums := make([]float64, len(locs))
+	par.For(len(locs), func(i int) {
 		var sum float64
 		for j := 0; j < len(locs); j += stride {
-			sum += math.Log1p(geo.Distance(p, locs[j]))
+			sum += math.Log1p(geo.TrigDistance(tr[i], tr[j]))
 		}
+		sums[i] = sum
+	})
+	seed, seedScore := 0, math.Inf(-1)
+	for i, sum := range sums {
 		if sum > seedScore {
 			seed, seedScore = i, sum
 		}
@@ -101,11 +113,11 @@ func GreedyCover(locs []geo.Point, n int) []int {
 	add := func(idx int) {
 		selected = append(selected, idx)
 		chosen[idx] = true
-		for i := range locs {
+		par.For(len(locs), func(i int) {
 			if !chosen[i] {
-				score[i] += math.Log1p(geo.Distance(locs[i], locs[idx]))
+				score[i] += math.Log1p(geo.TrigDistance(tr[i], tr[idx]))
 			}
-		}
+		})
 	}
 	add(seed)
 	for len(selected) < n {
@@ -159,13 +171,28 @@ func TwoStepSelect(repRTT *cbg.Matrix, meta []VPMeta, firstStep []int, target in
 		return res, false
 	}
 	red := region.Reduced()
+	// The region is checked against every VP; precomputed circle trig plus
+	// the matrix's per-VP trig replace the per-pair deg2rad/cos work (the
+	// verdicts are bit-identical to red.Contains).
+	redTrig := make([]geo.TrigCircle, len(red.Circles))
+	for i, c := range red.Circles {
+		redTrig[i] = geo.MakeTrigCircle(c)
+	}
 
 	// One candidate VP per (AS, city) inside the region.
 	type key struct{ as, city int }
 	seen := make(map[key]bool)
 	var candidates []int
 	for vp := range repRTT.VPs {
-		if !red.Contains(repRTT.VPs[vp]) {
+		pt := repRTT.VPTrig(vp)
+		inside := true
+		for _, tc := range redTrig {
+			if !tc.ContainsTrig(pt) {
+				inside = false
+				break
+			}
+		}
+		if !inside {
 			continue
 		}
 		k := key{meta[vp].AS, meta[vp].City}
