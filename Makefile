@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke
+.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke load-smoke
 
 all: build
 
@@ -76,6 +76,40 @@ resume-check:
 		echo "resume-check($$prof): digests identical"; \
 	done
 	rm -rf .resume-check
+
+# Load proof of the serving tier (DESIGN.md §3.6): geobench drives a
+# seeded hit/miss/garbage mix against a live geoserve and renders a
+# strict verdict. Run 1 hot-swaps the artifact mid-run and requires a
+# clean ledger — zero dropped requests, zero off-design statuses, and a
+# swap-generation bump. Run 2 aims 64 closed-loop workers at a server
+# admitted down to 2 inflight slots under the degraded fault profile and
+# requires overload to degrade to designed 429s with bounded p999, not
+# collapse.
+load-smoke:
+	rm -rf .load-smoke && mkdir -p .load-smoke
+	$(GO) build -o .load-smoke/geoserve ./cmd/geoserve
+	$(GO) build -o .load-smoke/geobench ./cmd/geobench
+	./.load-smoke/geoserve -scale tiny -unsanitized -write .load-smoke/a.geodset
+	./.load-smoke/geoserve -scale tiny -write .load-smoke/b.geodset
+	set -e; \
+	./.load-smoke/geoserve -dataset .load-smoke/a.geodset -addr 127.0.0.1:18080 \
+		-admin-token smoke & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./.load-smoke/geobench -addr http://127.0.0.1:18080 \
+		-dataset .load-smoke/a.geodset -wait-ready 15s \
+		-requests 4000 -workers 8 \
+		-swap-after 2000 -swap-to .load-smoke/b.geodset -admin-token smoke \
+		-strict -out .load-smoke/swap.json
+	set -e; \
+	./.load-smoke/geoserve -dataset .load-smoke/a.geodset -addr 127.0.0.1:18081 \
+		-faults degraded -max-inflight 2 -max-queue 4 -queue-timeout 50ms & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./.load-smoke/geobench -addr http://127.0.0.1:18081 \
+		-dataset .load-smoke/a.geodset -wait-ready 15s \
+		-requests 2000 -workers 64 \
+		-expect-shed -allow-503 -max-p999-ms 5000 \
+		-strict -out .load-smoke/overload.json
+	rm -rf .load-smoke
 
 # Short coverage-guided fuzz of the binary decoders — the checkpoint
 # journal and the dataset artifact (their seed corpora also run as plain

@@ -1,0 +1,253 @@
+package main
+
+import (
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"geoloc/internal/core"
+	"geoloc/internal/dataset"
+	"geoloc/internal/faults"
+	"geoloc/internal/serve"
+	"geoloc/internal/telemetry"
+	"geoloc/internal/world"
+)
+
+var (
+	tinyOnce         sync.Once
+	tinyFull, tinyV2 *dataset.Dataset
+)
+
+// tinyArtifacts compiles the two variants of the tiny campaign once: the
+// full artifact (with unsanitized records) and the sanitized-only one.
+func tinyArtifacts() (*dataset.Dataset, *dataset.Dataset) {
+	tinyOnce.Do(func() {
+		c := core.NewCampaign(world.TinyConfig())
+		tinyFull = dataset.Compile(c, dataset.Options{IncludeUnsanitized: true})
+		c2 := core.NewCampaign(world.TinyConfig())
+		tinyV2 = dataset.Compile(c2, dataset.Options{})
+	})
+	return tinyFull, tinyV2
+}
+
+// harness writes both artifacts to disk and serves the first over an
+// httptest server with the given serve config.
+func harness(t *testing.T, cfg serve.Config) (baseURL, pathA, pathB string) {
+	t.Helper()
+	dsA, dsB := tinyArtifacts()
+	dir := t.TempDir()
+	pathA = filepath.Join(dir, "a.geodset")
+	pathB = filepath.Join(dir, "b.geodset")
+	if err := dsA.Write(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if err := dsB.Write(pathB); err != nil {
+		t.Fatal(err)
+	}
+	srv := serve.New(cfg, telemetry.New())
+	srv.Publish(dsA, pathA)
+	ts := httptest.NewServer(srv.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, pathA, pathB
+}
+
+// TestRunCleanSwap is the in-process version of the CI load-smoke job: a
+// mixed load with one mid-run hot-swap must come back with zero
+// violations and a bumped generation.
+func TestRunCleanSwap(t *testing.T) {
+	base, pathA, pathB := harness(t, serve.Config{AdminToken: "tok"})
+	rep, err := Run(Config{
+		BaseURL:     base,
+		DatasetPath: pathA,
+		Requests:    600,
+		Workers:     6,
+		Seed:        1,
+		HitFrac:     0.7, MissFrac: 0.2, GarbageFrac: 0.1,
+		BatchEvery: 10, BatchSize: 4,
+		SwapAfter:  300,
+		SwapTo:     pathB,
+		AdminToken: "tok",
+		WaitReady:  5 * time.Second,
+		Timeout:    10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations on a clean run: %v", rep.Violations)
+	}
+	if !rep.SwapPerformed || rep.GenAfter != 2 || rep.GenBefore != 1 {
+		t.Fatalf("swap not recorded: performed=%v gen %d -> %d", rep.SwapPerformed, rep.GenBefore, rep.GenAfter)
+	}
+	dsA, dsB := tinyArtifacts()
+	if rep.RecordsBefore != len(dsA.Records) || rep.RecordsAfter != len(dsB.Records) {
+		t.Errorf("records %d -> %d, want %d -> %d",
+			rep.RecordsBefore, rep.RecordsAfter, len(dsA.Records), len(dsB.Records))
+	}
+	if rep.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0", rep.Dropped)
+	}
+	total := 0
+	for _, n := range rep.Statuses {
+		total += n
+	}
+	if total != rep.Requests {
+		t.Errorf("ledger sums to %d, want %d", total, rep.Requests)
+	}
+	// Garbage draws must exist and all land as 400.
+	if rep.Statuses["400"] == 0 {
+		t.Error("no 400s: the garbage mix never fired")
+	}
+	if rep.Statuses["200"] == 0 || rep.Statuses["404"] == 0 {
+		t.Errorf("mix missing hits or misses: %v", rep.Statuses)
+	}
+	if rep.Admitted == 0 || rep.P999Ms < rep.P50Ms {
+		t.Errorf("percentiles look wrong: admitted=%d p50=%f p999=%f", rep.Admitted, rep.P50Ms, rep.P999Ms)
+	}
+}
+
+// TestRunDetectsMissingSwapBump pins the harness's teeth: pointing the
+// swap at a corrupt artifact must surface as a violation, not a clean
+// run.
+func TestRunDetectsMissingSwapBump(t *testing.T) {
+	base, pathA, _ := harness(t, serve.Config{AdminToken: "tok"})
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.geodset")
+	if err := os.WriteFile(bad, []byte("definitely not a dataset"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(Config{
+		BaseURL:     base,
+		DatasetPath: pathA,
+		Requests:    120,
+		Workers:     4,
+		Seed:        2,
+		HitFrac:     1,
+		SwapAfter:   60,
+		SwapTo:      bad,
+		AdminToken:  "tok",
+		Timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) == 0 {
+		t.Fatal("corrupt swap target produced a clean run")
+	}
+	found := false
+	for _, v := range rep.Violations {
+		if strings.Contains(v, "hot-swap failed") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("violations missing the swap failure: %v", rep.Violations)
+	}
+	if rep.SwapPerformed {
+		t.Error("SwapPerformed = true for a failed swap")
+	}
+}
+
+// TestRunOverloadSheds drives far more workers than the server admits
+// and checks overload degrades to clean 429s: shed requests exist, and
+// every answer is a designed status.
+func TestRunOverloadSheds(t *testing.T) {
+	base, pathA, _ := harness(t, serve.Config{
+		Prof:         &faults.Profile{Name: "stall", ServeStallProb: 1, ServeStallMaxMs: 3},
+		MaxInflight:  2,
+		MaxQueue:     2,
+		QueueTimeout: 2 * time.Millisecond,
+		RetryAfter:   time.Second,
+	})
+	rep, err := Run(Config{
+		BaseURL:     base,
+		DatasetPath: pathA,
+		Requests:    400,
+		Workers:     32,
+		Seed:        3,
+		HitFrac:     0.8, MissFrac: 0.2,
+		ExpectShed: true,
+		MaxP999Ms:  30000,
+		Timeout:    30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v (statuses %v)", rep.Violations, rep.Statuses)
+	}
+	if rep.Sheds == 0 {
+		t.Fatal("overload run shed nothing")
+	}
+	if rep.Dropped != 0 {
+		t.Errorf("dropped = %d, want 0 even under overload", rep.Dropped)
+	}
+}
+
+// TestMixDeterminism pins the determinism contract: the same (seed,
+// requests) produce the same request payloads.
+func TestMixDeterminism(t *testing.T) {
+	dsA, _ := tinyArtifacts()
+	cfg := Config{Seed: 7, Requests: 100, HitFrac: 0.6, MissFrac: 0.3, GarbageFrac: 0.1, BatchEvery: 9}
+	m1, err := newMixer(cfg, dsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := newMixer(cfg, dsA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawClass := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		c1, c2 := m1.class(i), m2.class(i)
+		if c1 != c2 {
+			t.Fatalf("class(%d) differs: %d vs %d", i, c1, c2)
+		}
+		sawClass[c1] = true
+		switch c1 {
+		case classHit:
+			if m1.hitIP(i, 0) != m2.hitIP(i, 0) {
+				t.Fatalf("hitIP(%d) not deterministic", i)
+			}
+		case classMiss:
+			a := m1.missIP(i, 0)
+			if a != m2.missIP(i, 0) {
+				t.Fatalf("missIP(%d) not deterministic", i)
+			}
+		case classGarbage:
+			if m1.garbage(i) != m2.garbage(i) {
+				t.Fatalf("garbage(%d) not deterministic", i)
+			}
+		case classBatch:
+			if string(m1.batchBody(i)) != string(m2.batchBody(i)) {
+				t.Fatalf("batchBody(%d) not deterministic", i)
+			}
+		}
+	}
+	for c := classHit; c <= classBatch; c++ {
+		if !sawClass[c] {
+			t.Errorf("class %d never drawn in 100 requests", c)
+		}
+	}
+}
+
+// TestPercentile pins the nearest-rank convention.
+func TestPercentile(t *testing.T) {
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("empty percentile = %f, want 0", got)
+	}
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct {
+		q    float64
+		want float64
+	}{{0.5, 5}, {0.99, 10}, {0.999, 10}, {0.1, 1}}
+	for _, c := range cases {
+		if got := percentile(s, c.q); got != c.want {
+			t.Errorf("percentile(%v) = %f, want %f", c.q, got, c.want)
+		}
+	}
+}

@@ -5,9 +5,18 @@
 // out (-write) instead of serving. The -faults profile injects
 // deterministic per-IP lookup failures and stalls for chaos runs.
 //
+// The serving core (internal/serve) is production-shaped: artifacts
+// hot-swap atomically under live traffic (SIGHUP, or POST /admin/reload
+// guarded by -admin-token), overload is shed with 429 + Retry-After
+// instead of collapse, every request has a deadline, and shutdown drains
+// — /readyz flips to 503, in-flight requests finish, then the listener
+// closes.
+//
 //	geoserve -scale tiny -write dataset.bin
-//	geoserve -dataset dataset.bin -addr :8080 -metrics
+//	geoserve -dataset dataset.bin -addr :8080 -admin-token s3cret -metrics
 //	curl 'localhost:8080/lookup?ip=10.0.0.7'
+//	curl -X POST -H 'X-Admin-Token: s3cret' \
+//	    -d '{"path":"dataset-v2.bin"}' localhost:8080/admin/reload
 package main
 
 import (
@@ -25,29 +34,91 @@ import (
 	"geoloc/internal/core"
 	"geoloc/internal/dataset"
 	"geoloc/internal/faults"
+	"geoloc/internal/serve"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
 )
+
+// options is the parsed flag set; one struct so run stays testable and
+// main stays a thin exit-code shim.
+type options struct {
+	addr        string
+	dsPath      string
+	scale       string
+	writePath   string
+	faultName   string
+	unsanitized bool
+	cacheSize   int
+	maxBatch    int
+
+	maxInflight    int
+	maxQueue       int
+	queueTimeout   time.Duration
+	requestTimeout time.Duration
+	retryAfter     time.Duration
+	adminToken     string
+	drainWait      time.Duration
+
+	readTimeout       time.Duration
+	readHeaderTimeout time.Duration
+	writeTimeout      time.Duration
+	idleTimeout       time.Duration
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("geoserve: ")
 
-	addr := flag.String("addr", ":8080", "listen address")
-	dsPath := flag.String("dataset", "", "serve this dataset artifact instead of compiling one")
-	scale := flag.String("scale", "tiny", "campaign scale to compile when -dataset is unset: tiny, medium, paper")
-	writePath := flag.String("write", "", "write the compiled dataset artifact here and exit instead of serving")
-	faultName := flag.String("faults", "none", "serving fault profile: none, realistic, degraded, hostile")
-	unsanitized := flag.Bool("unsanitized", false, "include removed anchors as unsanitized reported-location records")
-	cacheSize := flag.Int("cache", 0, "ipindex LRU entries per shard (0 = default, negative = disabled)")
-	maxBatch := flag.Int("max-batch", DefaultMaxBatch, "maximum IPs accepted in one /batch request")
+	var o options
+	flag.StringVar(&o.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&o.dsPath, "dataset", "", "serve this dataset artifact instead of compiling one")
+	flag.StringVar(&o.scale, "scale", "tiny", "campaign scale to compile when -dataset is unset: tiny, medium, paper")
+	flag.StringVar(&o.writePath, "write", "", "write the compiled dataset artifact here and exit instead of serving")
+	flag.StringVar(&o.faultName, "faults", "none", "serving fault profile: none, realistic, degraded, hostile")
+	flag.BoolVar(&o.unsanitized, "unsanitized", false, "include removed anchors as unsanitized reported-location records")
+	flag.IntVar(&o.cacheSize, "cache", 0, "ipindex LRU entries per shard (0 = default, negative = disabled)")
+	flag.IntVar(&o.maxBatch, "max-batch", serve.DefaultMaxBatch, "maximum IPs accepted in one /batch request")
+
+	flag.IntVar(&o.maxInflight, "max-inflight", serve.DefaultMaxInflight,
+		"maximum concurrently executing data-plane requests (negative = unlimited)")
+	flag.IntVar(&o.maxQueue, "max-queue", serve.DefaultMaxQueue,
+		"maximum requests queued for an inflight slot before shedding with 429")
+	flag.DurationVar(&o.queueTimeout, "queue-timeout", serve.DefaultQueueTimeout,
+		"maximum time a request may wait for an inflight slot before shedding with 429")
+	flag.DurationVar(&o.requestTimeout, "request-timeout", serve.DefaultRequestTimeout,
+		"per-request deadline; expired requests answer 504 (negative = none)")
+	flag.DurationVar(&o.retryAfter, "retry-after", serve.DefaultRetryAfter,
+		"Retry-After hint attached to every shed 429")
+	flag.StringVar(&o.adminToken, "admin-token", "",
+		"token guarding POST /admin/reload (empty disables the endpoint)")
+	flag.DurationVar(&o.drainWait, "drain-wait", 1*time.Second,
+		"pause between flipping /readyz to 503 and closing the listener on shutdown")
+
+	flag.DurationVar(&o.readTimeout, "read-timeout", 30*time.Second,
+		"http.Server ReadTimeout (whole request including body)")
+	flag.DurationVar(&o.readHeaderTimeout, "read-header-timeout", 5*time.Second,
+		"http.Server ReadHeaderTimeout (slowloris guard)")
+	flag.DurationVar(&o.writeTimeout, "write-timeout", 30*time.Second,
+		"http.Server WriteTimeout")
+	flag.DurationVar(&o.idleTimeout, "idle-timeout", 120*time.Second,
+		"http.Server IdleTimeout for keep-alive connections")
+
 	tele := telemetry.NewCLI()
 	flag.Parse()
 	tele.Start()
-	defer tele.Finish()
 
+	err := run(o)
+	// One Finish on every exit path: it is idempotent, but the log.Fatal
+	// paths bypass deferred calls, so the explicit call must come first.
+	tele.Finish()
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(o options) error {
 	var prof *faults.Profile
-	switch *faultName {
+	switch o.faultName {
 	case "none":
 		prof = nil
 	case "realistic":
@@ -57,41 +128,93 @@ func main() {
 	case "hostile":
 		prof = faults.Hostile()
 	default:
-		log.Fatalf("unknown fault profile %q (want none, realistic, degraded, hostile)", *faultName)
+		return fmt.Errorf("unknown fault profile %q (want none, realistic, degraded, hostile)", o.faultName)
 	}
 
-	ds, err := obtainDataset(*dsPath, *scale, *unsanitized)
+	ds, err := obtainDataset(o.dsPath, o.scale, o.unsanitized)
 	if err != nil {
-		tele.Finish()
-		log.Fatal(err)
+		return err
 	}
-	if *writePath != "" {
-		if err := ds.Write(*writePath); err != nil {
-			tele.Finish()
-			log.Fatalf("write dataset: %v", err)
+	if o.writePath != "" {
+		if err := ds.Write(o.writePath); err != nil {
+			return fmt.Errorf("write dataset: %w", err)
 		}
-		log.Printf("wrote %d records to %s", len(ds.Records), *writePath)
-		tele.Finish()
-		return
+		log.Printf("wrote %d records to %s", len(ds.Records), o.writePath)
+		return nil
 	}
 
-	srv := NewServer(ds, prof, telemetry.Default(), *cacheSize, *maxBatch)
-	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	srv := serve.New(serve.Config{
+		Prof:           prof,
+		CacheSize:      o.cacheSize,
+		MaxBatch:       o.maxBatch,
+		MaxInflight:    o.maxInflight,
+		MaxQueue:       o.maxQueue,
+		QueueTimeout:   o.queueTimeout,
+		RequestTimeout: o.requestTimeout,
+		RetryAfter:     o.retryAfter,
+		AdminToken:     o.adminToken,
+	}, telemetry.Default())
+	source := o.dsPath
+	if source == "" {
+		source = "compiled:" + o.scale
+	}
+	srv.Publish(ds, source)
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
-	defer stop()
+	httpSrv := &http.Server{
+		Addr:              o.addr,
+		Handler:           srv.Handler(),
+		ReadTimeout:       o.readTimeout,
+		ReadHeaderTimeout: o.readHeaderTimeout,
+		WriteTimeout:      o.writeTimeout,
+		IdleTimeout:       o.idleTimeout,
+	}
+
+	// SIGHUP hot-swaps the artifact from its source file under live
+	// traffic; a failed reload keeps the old artifact serving.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
 	go func() {
-		<-ctx.Done()
-		shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
-		defer cancel()
-		httpSrv.Shutdown(shCtx)
+		for range hup {
+			if o.dsPath == "" {
+				log.Printf("SIGHUP ignored: serving a compiled dataset, nothing to reload (use /admin/reload)")
+				continue
+			}
+			art, err := srv.Reload(o.dsPath)
+			if err != nil {
+				log.Printf("SIGHUP reload failed: %v", err)
+				continue
+			}
+			log.Printf("SIGHUP swap: generation %d, %d records from %s", art.Gen, len(art.DS.Records), art.Source)
+		}
 	}()
 
-	log.Printf("serving %d records on %s (faults=%s)", len(ds.Records), *addr, *faultName)
+	// Graceful drain: flip readiness so load balancers stop routing
+	// here, give them drainWait to notice, then close the listener and
+	// let Shutdown finish the in-flight requests.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	drained := make(chan struct{})
+	go func() {
+		defer close(drained)
+		<-ctx.Done()
+		srv.StartDrain()
+		log.Printf("draining: /readyz now 503, closing listener in %s", o.drainWait)
+		time.Sleep(o.drainWait)
+		shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := httpSrv.Shutdown(shCtx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}()
+
+	log.Printf("serving %d records on %s (faults=%s, generation %d)",
+		len(ds.Records), o.addr, o.faultName, srv.Current().Gen)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
-		tele.Finish()
-		log.Fatal(err)
+		return err
 	}
+	<-drained
+	log.Printf("drained, exiting")
+	return nil
 }
 
 // obtainDataset loads an artifact or compiles one from a fresh

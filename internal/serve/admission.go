@@ -1,0 +1,181 @@
+// Admission control: the middleware that keeps geoserve answering fast
+// under overload instead of collapsing under it.
+//
+// The model is a bounded system: at most MaxInflight requests execute
+// concurrently, at most MaxQueue more wait for a slot (bounded by
+// QueueTimeout), and everything beyond that is shed immediately with
+// 429 + Retry-After — a clean, cheap answer the client can act on,
+// instead of an unbounded goroutine pile-up that takes every request
+// down with it. Orthogonally, a per-request deadline bounds how long any
+// admitted request can run; on expiry the client gets 504 and the
+// handler's late output is discarded. Control-plane endpoints (/healthz,
+// /readyz, /version, /admin/*) bypass both: an operator must be able to
+// observe and steer an overloaded server.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// admit gates next behind the concurrency limit and the bounded queue.
+// Sheds are answered 429 with a Retry-After hint; a request whose
+// context dies while queued is answered 504 (the deadline wrapper's
+// verdict, restated here so the queue path is correct even when the
+// wrapper is disabled).
+func (s *Server) admit(next http.Handler) http.Handler {
+	if s.sem == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case s.sem <- struct{}{}: // free slot, no queueing
+		default:
+			if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+				s.queued.Add(-1)
+				s.shed(w)
+				return
+			}
+			t := time.NewTimer(s.cfg.QueueTimeout)
+			select {
+			case s.sem <- struct{}{}:
+				t.Stop()
+				s.queued.Add(-1)
+			case <-t.C:
+				s.queued.Add(-1)
+				s.shed(w)
+				return
+			case <-r.Context().Done():
+				t.Stop()
+				s.queued.Add(-1)
+				s.expired.Inc()
+				s.writeJSON(w, http.StatusGatewayTimeout,
+					errorBody{"request deadline expired while queued for admission"})
+				return
+			}
+		}
+		defer func() { <-s.sem }()
+		if r.Context().Err() != nil {
+			// The deadline fired while we held a queue slot; the slot is
+			// free again but this request's budget is gone.
+			s.expired.Inc()
+			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired before execution"})
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// shed answers one load-shed request: 429, a Retry-After hint, and the
+// shed counter — the overload contract geobench asserts on.
+func (s *Server) shed(w http.ResponseWriter) {
+	s.sheds.Inc()
+	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
+	if secs < 1 {
+		secs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(secs))
+	s.writeJSON(w, http.StatusTooManyRequests, errorBody{"server overloaded, retry after backoff"})
+}
+
+// withDeadline bounds next by the per-request deadline. The handler runs
+// against a buffered writer in its own goroutine; if the deadline fires
+// first the client gets a 504 immediately and the handler's eventual
+// output is dropped. The request context carries the deadline, so
+// cooperative handlers (ctx-aware fault stalls, the batch loop) abort
+// early and release their admission slot instead of running to
+// completion for a client that already got its answer.
+func (s *Server) withDeadline(next http.Handler) http.Handler {
+	if s.cfg.RequestTimeout <= 0 {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+
+		bw := &bufferedResponse{hdr: make(http.Header)}
+		done := make(chan struct{})
+		panicked := make(chan any, 1)
+		go func() {
+			defer func() {
+				if p := recover(); p != nil {
+					panicked <- p
+				}
+			}()
+			next.ServeHTTP(bw, r)
+			close(done)
+		}()
+
+		select {
+		case p := <-panicked:
+			panic(p)
+		case <-done:
+			bw.copyTo(w)
+		case <-ctx.Done():
+			s.expired.Inc()
+			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired"})
+		}
+	})
+}
+
+// bufferedResponse captures a handler's full response so the deadline
+// wrapper can atomically either deliver it or discard it. The payloads
+// here are small JSON documents (a batch is capped at maxBatch items),
+// so buffering costs little and removes every write race a shared
+// ResponseWriter would have.
+type bufferedResponse struct {
+	hdr    http.Header
+	status int
+	body   bytes.Buffer
+}
+
+func (b *bufferedResponse) Header() http.Header { return b.hdr }
+
+func (b *bufferedResponse) WriteHeader(status int) {
+	if b.status == 0 {
+		b.status = status
+	}
+}
+
+func (b *bufferedResponse) Write(p []byte) (int, error) {
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	return b.body.Write(p)
+}
+
+func (b *bufferedResponse) copyTo(w http.ResponseWriter) {
+	for k, vs := range b.hdr {
+		for _, v := range vs {
+			w.Header().Add(k, v)
+		}
+	}
+	if b.status == 0 {
+		b.status = http.StatusOK
+	}
+	w.WriteHeader(b.status)
+	w.Write(b.body.Bytes())
+}
+
+// ctxSleep sleeps for d or until the context dies, reporting whether the
+// full sleep completed. Fault-injected stalls route through it so a
+// stalled request both honours its deadline and frees its admission slot
+// promptly.
+func ctxSleep(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return true
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}

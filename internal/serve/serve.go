@@ -1,0 +1,601 @@
+// Package serve is geoserve's robust serving core: the query layer over
+// a compiled GEODSET artifact, hardened for production traffic.
+//
+// Three properties distinguish it from a plain handler over a dataset
+// (DESIGN.md §3.6):
+//
+//   - Hot-swap: the (dataset, index) pair is published through an atomic
+//     pointer (swap.go), so a new artifact can be rotated in under live
+//     load — in-flight requests finish on the snapshot they captured,
+//     new requests see the new generation, and a reload that fails to
+//     decode rolls back by never publishing.
+//   - Admission control: a concurrency limit with a bounded, timed queue
+//     sheds overload as 429 + Retry-After, and a per-request deadline
+//     turns stuck requests into prompt 504s (admission.go).
+//   - Drain: readiness (/readyz) flips to 503 the moment shutdown
+//     starts, so load balancers stop sending while in-flight requests
+//     complete; the data plane keeps answering until the listener
+//     closes.
+//
+// The package is pure mechanism — cmd/geoserve wires flags, signals and
+// the http.Server around it, cmd/geobench proves the properties hold
+// under load.
+package serve
+
+import (
+	"context"
+	"crypto/subtle"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"geoloc/internal/dataset"
+	"geoloc/internal/faults"
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/ipindex"
+	"geoloc/internal/telemetry"
+)
+
+// DefaultMaxBatch caps /batch request size; larger requests get 413.
+const DefaultMaxBatch = 1024
+
+// Admission defaults; Config fields override them.
+const (
+	DefaultMaxInflight    = 256
+	DefaultMaxQueue       = 1024
+	DefaultQueueTimeout   = 1 * time.Second
+	DefaultRequestTimeout = 5 * time.Second
+	DefaultRetryAfter     = 1 * time.Second
+)
+
+// latencyBoundsMs buckets the per-request latency histogram.
+var latencyBoundsMs = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+
+// Config tunes a Server. The zero value gets sane production defaults;
+// set a field negative where documented to disable that limit.
+type Config struct {
+	// Prof injects deterministic serving faults (nil = none).
+	Prof *faults.Profile
+	// CacheSize tunes the ipindex LRU of every index the server builds
+	// (0 = ipindex default, negative = disabled).
+	CacheSize int
+	// MaxBatch caps /batch (0 = DefaultMaxBatch).
+	MaxBatch int
+
+	// MaxInflight bounds concurrently executing data-plane requests
+	// (0 = DefaultMaxInflight, negative = unlimited: admission off).
+	MaxInflight int
+	// MaxQueue bounds requests waiting for an inflight slot; beyond it
+	// requests are shed immediately (0 = DefaultMaxQueue).
+	MaxQueue int
+	// QueueTimeout bounds how long a request may wait for a slot before
+	// being shed (0 = DefaultQueueTimeout).
+	QueueTimeout time.Duration
+	// RequestTimeout is the per-request deadline; on expiry the client
+	// gets 504 (0 = DefaultRequestTimeout, negative = no deadline).
+	RequestTimeout time.Duration
+	// RetryAfter is the backoff hint sent with every 429
+	// (0 = DefaultRetryAfter).
+	RetryAfter time.Duration
+
+	// AdminToken guards POST /admin/reload. Empty disables the endpoint
+	// entirely (403): an unauthenticated reload is a denial-of-service
+	// primitive.
+	AdminToken string
+}
+
+// withDefaults resolves the zero-value conventions.
+func (c Config) withDefaults() Config {
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = DefaultMaxInflight
+	}
+	if c.MaxQueue == 0 {
+		c.MaxQueue = DefaultMaxQueue
+	}
+	if c.QueueTimeout == 0 {
+		c.QueueTimeout = DefaultQueueTimeout
+	}
+	if c.RequestTimeout == 0 {
+		c.RequestTimeout = DefaultRequestTimeout
+	}
+	if c.RetryAfter == 0 {
+		c.RetryAfter = DefaultRetryAfter
+	}
+	return c
+}
+
+// Server answers geolocation queries from the currently published
+// artifact. All handlers are safe for concurrent use, including
+// concurrently with Publish/Reload.
+type Server struct {
+	cfg     Config
+	swapper *Swapper
+
+	sem      chan struct{} // admission slots; nil = unlimited
+	queued   atomic.Int64
+	draining atomic.Bool
+
+	// sleep implements fault-injected stalls; injectable so tests don't
+	// actually stall. Must honour the context (see ctxSleep).
+	sleep func(context.Context, time.Duration) bool
+
+	reqLookup  *telemetry.Counter
+	reqBatch   *telemetry.Counter
+	reqHealth  *telemetry.Counter
+	hits       *telemetry.Counter
+	misses     *telemetry.Counter
+	badInput   *telemetry.Counter
+	injectFail *telemetry.Counter
+	injectMs   *telemetry.Counter
+	sheds      *telemetry.Counter
+	expired    *telemetry.Counter
+	writeErrs  *telemetry.Counter
+	latencyMs  *telemetry.Histogram
+
+	statusMu   sync.Mutex
+	statusCtrs map[int]*telemetry.Counter
+	statusReg  *telemetry.Registry
+}
+
+// New wires a server with no artifact yet: /readyz answers 503 and the
+// data plane 503s until the first Publish. reg receives the serving
+// metrics (telemetry.Default() in the binary, a private registry in
+// tests).
+func New(cfg Config, reg *telemetry.Registry) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		swapper: NewSwapper(reg, cfg.CacheSize),
+		sleep:   ctxSleep,
+
+		reqLookup:  reg.Counter("geoserve.requests_lookup"),
+		reqBatch:   reg.Counter("geoserve.requests_batch"),
+		reqHealth:  reg.Counter("geoserve.requests_healthz"),
+		hits:       reg.Counter("geoserve.hits"),
+		misses:     reg.Counter("geoserve.misses"),
+		badInput:   reg.Counter("geoserve.bad_input"),
+		injectFail: reg.Counter("geoserve.injected_failures"),
+		injectMs:   reg.Counter("geoserve.injected_stall_ms"),
+		sheds:      reg.Counter("geoserve.shed"),
+		expired:    reg.Counter("geoserve.deadline_expired"),
+		writeErrs:  reg.Counter("geoserve.write_errors"),
+		latencyMs:  reg.Histogram("geoserve.latency_ms", latencyBoundsMs),
+
+		statusCtrs: make(map[int]*telemetry.Counter),
+		statusReg:  reg,
+	}
+	if cfg.MaxInflight > 0 {
+		s.sem = make(chan struct{}, cfg.MaxInflight)
+	}
+	return s
+}
+
+// Publish makes ds the active artifact (see Swapper.Publish).
+func (s *Server) Publish(ds *dataset.Dataset, source string) *Artifact {
+	return s.swapper.Publish(ds, source)
+}
+
+// Reload loads and publishes the artifact file at path, keeping the old
+// artifact on any failure (see Swapper.Reload).
+func (s *Server) Reload(path string) (*Artifact, error) { return s.swapper.Reload(path) }
+
+// Current returns the active artifact (nil before the first Publish).
+func (s *Server) Current() *Artifact { return s.swapper.Current() }
+
+// Index exposes the active serving index (benchmarks hit it directly);
+// nil before the first Publish.
+func (s *Server) Index() *ipindex.Index {
+	if a := s.Current(); a != nil {
+		return a.Idx
+	}
+	return nil
+}
+
+// StartDrain flips readiness: /readyz answers 503 from now on while the
+// data plane keeps serving, so a load balancer stops routing here and
+// in-flight work completes. Idempotent; there is no way back — draining
+// processes exit.
+func (s *Server) StartDrain() { s.draining.Store(true) }
+
+// Draining reports whether StartDrain was called.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Handler returns the full middleware-wrapped routing table. Data-plane
+// endpoints (/lookup, /batch) sit behind the deadline and admission
+// middleware; control-plane endpoints bypass both so an operator can
+// always observe and steer an overloaded server. The status ledger wraps
+// everything.
+func (s *Server) Handler() http.Handler {
+	data := http.NewServeMux()
+	data.HandleFunc("/lookup", s.handleLookup)
+	data.HandleFunc("/batch", s.handleBatch)
+	wrapped := s.withDeadline(s.admit(data))
+
+	mux := http.NewServeMux()
+	mux.Handle("/lookup", wrapped)
+	mux.Handle("/batch", wrapped)
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/readyz", s.handleReadyz)
+	mux.HandleFunc("/version", s.handleVersion)
+	mux.HandleFunc("/admin/reload", s.handleReload)
+	return s.ledger(mux)
+}
+
+// ledger counts every response by final status code under
+// geoserve.status.<code> — the per-status ledger geobench cross-checks
+// its client-side ledger against.
+func (s *Server) ledger(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		s.statusCounter(sw.Status()).Inc()
+	})
+}
+
+func (s *Server) statusCounter(code int) *telemetry.Counter {
+	s.statusMu.Lock()
+	defer s.statusMu.Unlock()
+	c, ok := s.statusCtrs[code]
+	if !ok {
+		c = s.statusReg.Counter(fmt.Sprintf("geoserve.status.%d", code))
+		s.statusCtrs[code] = c
+	}
+	return c
+}
+
+// statusWriter records the final status code of a response.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(status int) {
+	if w.status == 0 {
+		w.status = status
+	}
+	w.ResponseWriter.WriteHeader(status)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+// Status returns the recorded status (200 if the handler never wrote).
+func (w *statusWriter) Status() int {
+	if w.status == 0 {
+		return http.StatusOK
+	}
+	return w.status
+}
+
+// LookupResult is the JSON answer for one IP. Either Error is set or the
+// geolocation fields are.
+type LookupResult struct {
+	IP        string  `json:"ip"`
+	Prefix    string  `json:"prefix,omitempty"`
+	Lat       float64 `json:"lat,omitempty"`
+	Lon       float64 `json:"lon,omitempty"`
+	RadiusKm  float64 `json:"radius_km,omitempty"`
+	Method    string  `json:"method,omitempty"`
+	Sanitized bool    `json:"sanitized,omitempty"`
+	Error     string  `json:"error,omitempty"`
+}
+
+// errorBody is the JSON error envelope for whole-request failures.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// writeJSON writes one JSON document with the given status. Encode
+// failures (almost always a client that hung up mid-write) are counted,
+// not silently dropped.
+func (s *Server) writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		s.writeErrs.Inc()
+	}
+}
+
+// resolveKind classifies a resolve outcome for status mapping.
+type resolveKind int
+
+const (
+	resolveOK resolveKind = iota
+	resolveMiss
+	resolveInjected
+	resolveDeadline
+)
+
+// resolve answers one parsed address against one artifact snapshot,
+// injecting the profile's serving faults: a deterministic per-IP failure
+// (the caller maps it to 503 or a per-item error) and a deterministic
+// extra stall, which honours the request deadline.
+func (s *Server) resolve(ctx context.Context, art *Artifact, a ipaddr.Addr) (LookupResult, resolveKind) {
+	if ms := s.cfg.Prof.ServeStallMs(art.DS.Hdr.Seed, uint64(a)); ms > 0 {
+		s.injectMs.Add(int64(ms))
+		if !s.sleep(ctx, time.Duration(ms*float64(time.Millisecond))) {
+			return LookupResult{IP: a.String(), Error: "request deadline expired"}, resolveDeadline
+		}
+	}
+	if s.cfg.Prof.ServeFailed(art.DS.Hdr.Seed, uint64(a)) {
+		s.injectFail.Inc()
+		return LookupResult{IP: a.String(), Error: "backend unavailable (injected)"}, resolveInjected
+	}
+	m, ok := art.Idx.Lookup(a)
+	if !ok {
+		s.misses.Inc()
+		return LookupResult{IP: a.String(), Error: "no record covers this address"}, resolveMiss
+	}
+	s.hits.Inc()
+	r := art.DS.Records[m.Value]
+	return LookupResult{
+		IP:        a.String(),
+		Prefix:    r.Prefix.String(),
+		Lat:       r.Centroid.Lat,
+		Lon:       r.Centroid.Lon,
+		RadiusKm:  r.RadiusKm,
+		Method:    r.Method.String(),
+		Sanitized: r.Sanitized,
+	}, resolveOK
+}
+
+// handleLookup serves GET /lookup?ip=A.B.C.D.
+func (s *Server) handleLookup(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	s.reqLookup.Inc()
+	if req.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use GET"})
+		return
+	}
+	art := s.Current()
+	if art == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
+		return
+	}
+	raw := req.URL.Query().Get("ip")
+	if raw == "" {
+		s.badInput.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorBody{"missing ip parameter"})
+		return
+	}
+	a, err := ipaddr.Parse(raw)
+	if err != nil {
+		s.badInput.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
+		return
+	}
+	res, kind := s.resolve(req.Context(), art, a)
+	switch kind {
+	case resolveDeadline:
+		s.writeJSON(w, http.StatusGatewayTimeout, res)
+	case resolveInjected:
+		s.writeJSON(w, http.StatusServiceUnavailable, res)
+	case resolveMiss:
+		s.writeJSON(w, http.StatusNotFound, res)
+	default:
+		s.writeJSON(w, http.StatusOK, res)
+	}
+}
+
+// batchRequest is the /batch input document.
+type batchRequest struct {
+	IPs []string `json:"ips"`
+}
+
+// batchResponse is the /batch output document: one result per input, in
+// input order; per-item failures (bad IP, no record, injected fault) are
+// reported in place so one bad address cannot fail the whole batch.
+type batchResponse struct {
+	Results []LookupResult `json:"results"`
+}
+
+// handleBatch serves POST /batch {"ips": ["1.2.3.4", ...]}. The whole
+// batch resolves against one artifact snapshot, so a hot-swap mid-batch
+// cannot mix generations within one response.
+func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
+	start := time.Now()
+	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	s.reqBatch.Inc()
+	if req.Method != http.MethodPost {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use POST"})
+		return
+	}
+	art := s.Current()
+	if art == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
+		return
+	}
+	var in batchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<22))
+	if err := dec.Decode(&in); err != nil {
+		s.badInput.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+		return
+	}
+	if len(in.IPs) == 0 {
+		s.badInput.Inc()
+		s.writeJSON(w, http.StatusBadRequest, errorBody{"empty batch"})
+		return
+	}
+	if len(in.IPs) > s.cfg.MaxBatch {
+		s.badInput.Inc()
+		s.writeJSON(w, http.StatusRequestEntityTooLarge,
+			errorBody{fmt.Sprintf("batch of %d exceeds limit %d", len(in.IPs), s.cfg.MaxBatch)})
+		return
+	}
+	out := batchResponse{Results: make([]LookupResult, 0, len(in.IPs))}
+	for _, raw := range in.IPs {
+		a, err := ipaddr.Parse(raw)
+		if err != nil {
+			s.badInput.Inc()
+			out.Results = append(out.Results, LookupResult{IP: raw, Error: err.Error()})
+			continue
+		}
+		res, kind := s.resolve(req.Context(), art, a)
+		if kind == resolveDeadline {
+			// The budget for the whole batch is gone; the deadline
+			// wrapper already owns the client-visible 504.
+			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired mid-batch"})
+			return
+		}
+		out.Results = append(out.Results, res)
+	}
+	s.writeJSON(w, http.StatusOK, out)
+}
+
+// healthzBody is the /healthz response (liveness + artifact summary).
+type healthzBody struct {
+	Status     string `json:"status"`
+	Records    int    `json:"records"`
+	Profile    string `json:"profile"`
+	Seed       uint64 `json:"dataset_seed"`
+	Hash       string `json:"dataset_config_hash"`
+	Generation uint64 `json:"generation"`
+	FaultSet   string `json:"fault_profile,omitempty"`
+}
+
+// handleHealthz serves GET /healthz: liveness. It answers 200 whenever
+// the process can serve at all, even while draining — kill decisions
+// belong to /readyz.
+func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
+	s.reqHealth.Inc()
+	art := s.Current()
+	if art == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
+		return
+	}
+	body := healthzBody{
+		Status:     "ok",
+		Records:    len(art.DS.Records),
+		Profile:    art.DS.Hdr.Profile,
+		Seed:       art.DS.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
+		Generation: art.Gen,
+	}
+	if s.cfg.Prof != nil {
+		body.FaultSet = s.cfg.Prof.Name
+	}
+	s.writeJSON(w, http.StatusOK, body)
+}
+
+// handleReadyz serves GET /readyz: readiness. 503 before the first
+// artifact and from the moment drain starts — the signal a load balancer
+// keys routing on.
+func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
+	switch {
+	case s.Draining():
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"draining"})
+	case s.Current() == nil:
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
+	default:
+		s.writeJSON(w, http.StatusOK, struct {
+			Status string `json:"status"`
+		}{"ready"})
+	}
+}
+
+// versionBody is the /version response: the active artifact's identity.
+type versionBody struct {
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+	Records    int    `json:"records"`
+	Seed       uint64 `json:"dataset_seed"`
+	Hash       string `json:"dataset_config_hash"`
+	Profile    string `json:"profile"`
+}
+
+// handleVersion serves GET /version.
+func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
+	art := s.Current()
+	if art == nil {
+		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, versionBody{
+		Generation: art.Gen,
+		Source:     art.Source,
+		Records:    len(art.DS.Records),
+		Seed:       art.DS.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
+		Profile:    art.DS.Hdr.Profile,
+	})
+}
+
+// reloadRequest is the /admin/reload input. An empty path re-loads the
+// active artifact's source file.
+type reloadRequest struct {
+	Path string `json:"path"`
+}
+
+// reloadResponse reports a successful swap.
+type reloadResponse struct {
+	Generation uint64 `json:"generation"`
+	Source     string `json:"source"`
+	Records    int    `json:"records"`
+	Seed       uint64 `json:"dataset_seed"`
+	Hash       string `json:"dataset_config_hash"`
+}
+
+// handleReload serves POST /admin/reload, guarded by the admin token
+// (X-Admin-Token header). A failed load keeps the old artifact serving
+// and answers 422 — the client learns the artifact was rejected and the
+// server rolls on.
+func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodPost {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use POST"})
+		return
+	}
+	if s.cfg.AdminToken == "" {
+		s.writeJSON(w, http.StatusForbidden, errorBody{"admin endpoint disabled (no -admin-token configured)"})
+		return
+	}
+	got := req.Header.Get("X-Admin-Token")
+	if subtle.ConstantTimeCompare([]byte(got), []byte(s.cfg.AdminToken)) != 1 {
+		s.writeJSON(w, http.StatusForbidden, errorBody{"bad admin token"})
+		return
+	}
+	var in reloadRequest
+	if req.Body != nil {
+		// An empty body is a valid "reload in place" request.
+		dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<16))
+		if err := dec.Decode(&in); err != nil && !errors.Is(err, io.EOF) {
+			s.badInput.Inc()
+			s.writeJSON(w, http.StatusBadRequest, errorBody{fmt.Sprintf("bad request body: %v", err)})
+			return
+		}
+	}
+	path := in.Path
+	if path == "" {
+		art := s.Current()
+		if art == nil {
+			s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet; reload needs a path"})
+			return
+		}
+		path = art.Source
+	}
+	art, err := s.Reload(path)
+	if err != nil {
+		s.writeJSON(w, http.StatusUnprocessableEntity, errorBody{err.Error()})
+		return
+	}
+	s.writeJSON(w, http.StatusOK, reloadResponse{
+		Generation: art.Gen,
+		Source:     art.Source,
+		Records:    len(art.DS.Records),
+		Seed:       art.DS.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
+	})
+}

@@ -1,6 +1,7 @@
-package main
+package serve
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"net/http"
@@ -32,12 +33,20 @@ func tinyDataset() *dataset.Dataset {
 	return tinyDS
 }
 
+// newPublished builds a server over the tiny dataset with the given
+// config and a private enabled registry, and publishes the artifact.
+func newPublished(cfg Config) *Server {
+	srv := New(cfg, telemetry.New())
+	srv.Publish(tinyDataset(), "test:tiny")
+	return srv
+}
+
 // newTestServer spins up the real handler over the tiny dataset on an
 // httptest listener. Metrics go to a private enabled registry so tests
 // can assert on them without touching the global default.
 func newTestServer(t *testing.T, prof *faults.Profile, maxBatch int) (*Server, *httptest.Server) {
 	t.Helper()
-	srv := NewServer(tinyDataset(), prof, telemetry.New(), 0, maxBatch)
+	srv := newPublished(Config{Prof: prof, MaxBatch: maxBatch})
 	ts := httptest.NewServer(srv.Handler())
 	t.Cleanup(ts.Close)
 	return srv, ts
@@ -216,11 +225,62 @@ func TestHealthz(t *testing.T) {
 		fmt.Sprintf(`"records":%d`, len(ds.Records)),
 		fmt.Sprintf(`"dataset_seed":%d`, ds.Hdr.Seed),
 		fmt.Sprintf(`"dataset_config_hash":"%016x"`, ds.Hdr.ConfigHash),
+		`"generation":1`,
 		`"fault_profile":"degraded"`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Errorf("healthz missing %q: %s", want, body)
 		}
+	}
+}
+
+func TestReadyzAndVersion(t *testing.T) {
+	srv, ts := newTestServer(t, nil, 0)
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusOK || !strings.Contains(body, `"ready"`) {
+		t.Fatalf("readyz = %d %s, want 200 ready", status, body)
+	}
+	status, body := get(t, ts.URL+"/version")
+	if status != http.StatusOK {
+		t.Fatalf("version status = %d, want 200", status)
+	}
+	ds := tinyDataset()
+	for _, want := range []string{
+		`"generation":1`,
+		`"source":"test:tiny"`,
+		fmt.Sprintf(`"records":%d`, len(ds.Records)),
+		fmt.Sprintf(`"dataset_seed":%d`, ds.Hdr.Seed),
+		fmt.Sprintf(`"dataset_config_hash":"%016x"`, ds.Hdr.ConfigHash),
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("version missing %q: %s", want, body)
+		}
+	}
+	srv.StartDrain()
+	if status, body := get(t, ts.URL+"/readyz"); status != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Fatalf("draining readyz = %d %s, want 503 draining", status, body)
+	}
+	// Liveness and the data plane are unaffected by drain.
+	if status, _ := get(t, ts.URL+"/healthz"); status != http.StatusOK {
+		t.Errorf("healthz during drain = %d, want 200", status)
+	}
+	if status, _ := get(t, ts.URL+"/lookup?ip=10.0.0.7"); status != http.StatusOK {
+		t.Errorf("lookup during drain = %d, want 200", status)
+	}
+}
+
+// TestUnpublishedServer pins the before-first-Publish contract: readyz
+// and the data plane answer 503 rather than panicking.
+func TestUnpublishedServer(t *testing.T) {
+	srv := New(Config{}, telemetry.New())
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	for _, path := range []string{"/readyz", "/lookup?ip=10.0.0.7", "/version", "/healthz"} {
+		if status, _ := get(t, ts.URL+path); status != http.StatusServiceUnavailable {
+			t.Errorf("%s before publish = %d, want 503", path, status)
+		}
+	}
+	if status, _ := post(t, ts.URL+"/batch", `{"ips":["10.0.0.7"]}`); status != http.StatusServiceUnavailable {
+		t.Errorf("batch before publish = %d, want 503", status)
 	}
 }
 
@@ -230,7 +290,7 @@ func TestHealthz(t *testing.T) {
 // the sleep hook.
 func TestServeFaultInjection(t *testing.T) {
 	prof := &faults.Profile{Name: "test-fail", ServeFailProb: 1}
-	srv, ts := newTestServer(t, prof, 0)
+	_, ts := newTestServer(t, prof, 0)
 	status, body := get(t, ts.URL+"/lookup?ip=10.0.0.7")
 	if status != http.StatusServiceUnavailable {
 		t.Fatalf("status = %d, want 503 (body %s)", status, body)
@@ -248,9 +308,9 @@ func TestServeFaultInjection(t *testing.T) {
 
 	// Stalls: certainty probability, capture through the sleep hook.
 	stallProf := &faults.Profile{Name: "test-stall", ServeStallProb: 1, ServeStallMaxMs: 80}
-	srv = NewServer(tinyDataset(), stallProf, telemetry.New(), 0, 0)
+	srv := newPublished(Config{Prof: stallProf})
 	var slept []time.Duration
-	srv.sleep = func(d time.Duration) { slept = append(slept, d) }
+	srv.sleep = func(_ context.Context, d time.Duration) bool { slept = append(slept, d); return true }
 	rec := httptest.NewRecorder()
 	srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/lookup?ip=10.0.0.7", nil))
 	if rec.Code != http.StatusOK {
@@ -268,8 +328,8 @@ func TestServeFaultInjection(t *testing.T) {
 
 // TestNoFaultProfileNeverInjects pins the nil-profile fast path.
 func TestNoFaultProfileNeverInjects(t *testing.T) {
-	srv := NewServer(tinyDataset(), nil, telemetry.New(), 0, 0)
-	srv.sleep = func(time.Duration) { t.Fatal("nil profile slept") }
+	srv := newPublished(Config{})
+	srv.sleep = func(context.Context, time.Duration) bool { panic("nil profile slept") }
 	for host := 0; host < 256; host++ {
 		rec := httptest.NewRecorder()
 		srv.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet,
@@ -280,10 +340,12 @@ func TestNoFaultProfileNeverInjects(t *testing.T) {
 	}
 }
 
-// TestMetricsCounted spot-checks the telemetry wiring.
+// TestMetricsCounted spot-checks the telemetry wiring, including the
+// per-status ledger.
 func TestMetricsCounted(t *testing.T) {
 	reg := telemetry.New()
-	srv := NewServer(tinyDataset(), nil, reg, 0, 0)
+	srv := New(Config{}, reg)
+	srv.Publish(tinyDataset(), "test:tiny")
 	h := srv.Handler()
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/lookup?ip=10.0.0.7", nil))
 	h.ServeHTTP(httptest.NewRecorder(), httptest.NewRequest(http.MethodGet, "/lookup?ip=192.0.2.1", nil))
@@ -302,5 +364,10 @@ func TestMetricsCounted(t *testing.T) {
 	}
 	if got := srv.latencyMs.Count(); got != 3 {
 		t.Errorf("latency observations = %d, want 3 (bad input still times)", got)
+	}
+	for code, want := range map[int]int64{200: 1, 404: 1, 400: 1} {
+		if got := srv.statusCounter(code).Value(); got != want {
+			t.Errorf("status ledger %d = %d, want %d", code, got, want)
+		}
 	}
 }

@@ -1,0 +1,114 @@
+// Artifact hot-swap: the mechanism that lets geoserve publish a new
+// GEODSET artifact under live traffic without dropping a request.
+//
+// The serving state is an immutable (dataset, index) pair bundled into an
+// Artifact and published through an atomic pointer. A request captures
+// the pointer once on entry and answers entirely from that snapshot, so a
+// swap mid-request is invisible: in-flight requests finish on the old
+// pair while new requests see the new one. Swaps are serialized by a
+// mutex (last writer wins would otherwise race the generation counter),
+// and a reload that fails to decode leaves the old artifact serving —
+// rollback is the absence of a publish.
+package serve
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"geoloc/internal/dataset"
+	"geoloc/internal/ipindex"
+	"geoloc/internal/telemetry"
+)
+
+// Artifact is one published serving snapshot: a decoded dataset, the
+// longest-prefix-match index built over it, and swap bookkeeping. All
+// fields are immutable after Publish; concurrent readers share it
+// freely.
+type Artifact struct {
+	// DS is the decoded dataset (records + provenance header).
+	DS *dataset.Dataset
+	// Idx is the serving index over DS.
+	Idx *ipindex.Index
+	// Gen is the swap generation: 1 for the first published artifact,
+	// incremented by every successful swap. Monotonic across the life of
+	// the process; geobench asserts it bumps across a hot-swap.
+	Gen uint64
+	// Source says where the artifact came from (a file path, or
+	// "compiled:<scale>" for datasets built in-process).
+	Source string
+}
+
+// Swapper owns the atomic artifact pointer. The read side (Current) is a
+// single atomic load; the write side (Publish, Reload) builds the new
+// index side-by-side with the old artifact still serving and publishes
+// with one atomic store.
+type Swapper struct {
+	cacheSize int
+
+	swaps     *telemetry.Counter
+	swapFails *telemetry.Counter
+
+	mu  sync.Mutex // serializes writers; readers never take it
+	gen uint64     // guarded by mu
+	cur atomic.Pointer[Artifact]
+}
+
+// NewSwapper returns an empty swapper (Current is nil until the first
+// Publish). cacheSize tunes the ipindex LRU of every index it builds.
+func NewSwapper(reg *telemetry.Registry, cacheSize int) *Swapper {
+	return &Swapper{
+		cacheSize: cacheSize,
+		swaps:     reg.Counter("geoserve.swaps"),
+		swapFails: reg.Counter("geoserve.swap_failures"),
+	}
+}
+
+// Current returns the active artifact, or nil before the first Publish.
+// Callers must capture it once per request and use that snapshot
+// throughout, never re-read it mid-request.
+func (sw *Swapper) Current() *Artifact { return sw.cur.Load() }
+
+// Generation returns the current swap generation (0 before the first
+// Publish).
+func (sw *Swapper) Generation() uint64 {
+	if a := sw.Current(); a != nil {
+		return a.Gen
+	}
+	return 0
+}
+
+// Publish builds the index for ds and atomically makes it the active
+// artifact. The old artifact keeps serving until the store, and stays
+// alive as long as any in-flight request holds it.
+func (sw *Swapper) Publish(ds *dataset.Dataset, source string) *Artifact {
+	// Index construction is the expensive part; do it before taking the
+	// writer lock only if we were contention-sensitive — swaps are rare,
+	// so building under mu keeps Gen assignment and store trivially
+	// ordered instead.
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.gen++
+	a := &Artifact{
+		DS:     ds,
+		Idx:    ds.Index(sw.cacheSize),
+		Gen:    sw.gen,
+		Source: source,
+	}
+	sw.cur.Store(a)
+	sw.swaps.Inc()
+	return a
+}
+
+// Reload loads the artifact file at path and publishes it. On any
+// failure — unreadable file, bad magic, corrupt frame, wrong version —
+// the active artifact is untouched (the rollback guarantee) and the
+// swap_failures counter records the attempt.
+func (sw *Swapper) Reload(path string) (*Artifact, error) {
+	ds, err := dataset.Load(path)
+	if err != nil {
+		sw.swapFails.Inc()
+		return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)
+	}
+	return sw.Publish(ds, path), nil
+}

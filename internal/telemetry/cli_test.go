@@ -1,0 +1,52 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestCLIFinishIdempotent is the regression test for the double-Finish
+// bug: a binary that both defers Finish and calls it explicitly before
+// an os.Exit path must produce its artifacts exactly once. The CLI is
+// constructed directly (NewCLI would re-register flags on
+// flag.CommandLine and panic under `go test`).
+func TestCLIFinishIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	out := filepath.Join(dir, "metrics.json")
+	c := &CLI{MetricsJSON: out}
+	c.Attach("test", New())
+
+	if err := c.Finish(); err != nil {
+		t.Fatalf("first Finish: %v", err)
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("first Finish did not write the snapshot: %v", err)
+	}
+
+	// Remove the artifact: a second Finish must be a no-op, not a
+	// second write.
+	if err := os.Remove(out); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatalf("second Finish: %v", err)
+	}
+	if _, err := os.Stat(out); !os.IsNotExist(err) {
+		t.Fatal("second Finish re-produced the metrics artifact; Finish must be idempotent")
+	}
+}
+
+// TestCLIFinishErrorStillMarksDone pins the failure path: even when the
+// first Finish errors (unwritable output), later calls stay no-ops so a
+// deferred Finish after an explicit one cannot double-report.
+func TestCLIFinishErrorStillMarksDone(t *testing.T) {
+	c := &CLI{MetricsJSON: filepath.Join(t.TempDir(), "no-such-dir", "metrics.json")}
+	c.Attach("test", New())
+	if err := c.Finish(); err == nil {
+		t.Fatal("Finish with unwritable -metrics-json should error")
+	}
+	if err := c.Finish(); err != nil {
+		t.Fatalf("second Finish should be a silent no-op, got %v", err)
+	}
+}
