@@ -77,14 +77,17 @@ resume-check:
 	done
 	rm -rf .resume-check
 
-# Load proof of the serving tier (DESIGN.md §3.6): geobench drives a
-# seeded hit/miss/garbage mix against a live geoserve and renders a
-# strict verdict. Run 1 hot-swaps the artifact mid-run and requires a
-# clean ledger — zero dropped requests, zero off-design statuses, and a
-# swap-generation bump. Run 2 aims 64 closed-loop workers at a server
-# admitted down to 2 inflight slots under the degraded fault profile and
-# requires overload to degrade to designed 429s with bounded p999, not
-# collapse.
+# Load + metrics proof of the serving tier (DESIGN.md §3.6–3.7):
+# geobench drives a seeded hit/miss/garbage mix against a live geoserve
+# and renders a strict verdict. Run 1 hot-swaps the artifact mid-run and
+# requires a clean ledger — zero dropped requests, zero off-design
+# statuses, a swap-generation bump — AND, via -metrics-check, scrapes
+# GET /metrics before and after: the exposition must lint clean, the
+# server's data-plane status counters must move by exactly the client
+# ledger, and geoserve_swaps_total must record the swap. Run 2 aims 64
+# closed-loop workers at a server admitted down to 2 inflight slots
+# under the degraded fault profile and requires overload to degrade to
+# designed 429s with bounded p999, not collapse.
 load-smoke:
 	rm -rf .load-smoke && mkdir -p .load-smoke
 	$(GO) build -o .load-smoke/geoserve ./cmd/geoserve
@@ -93,16 +96,17 @@ load-smoke:
 	./.load-smoke/geoserve -scale tiny -write .load-smoke/b.geodset
 	set -e; \
 	./.load-smoke/geoserve -dataset .load-smoke/a.geodset -addr 127.0.0.1:18080 \
-		-admin-token smoke & pid=$$!; \
+		-admin-token smoke -log-level warn & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
 	./.load-smoke/geobench -addr http://127.0.0.1:18080 \
 		-dataset .load-smoke/a.geodset -wait-ready 15s \
 		-requests 4000 -workers 8 \
 		-swap-after 2000 -swap-to .load-smoke/b.geodset -admin-token smoke \
-		-strict -out .load-smoke/swap.json
+		-metrics-check -strict -out .load-smoke/swap.json
 	set -e; \
 	./.load-smoke/geoserve -dataset .load-smoke/a.geodset -addr 127.0.0.1:18081 \
-		-faults degraded -max-inflight 2 -max-queue 4 -queue-timeout 50ms & pid=$$!; \
+		-faults degraded -max-inflight 2 -max-queue 4 -queue-timeout 50ms \
+		-log-level warn & pid=$$!; \
 	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
 	./.load-smoke/geobench -addr http://127.0.0.1:18081 \
 		-dataset .load-smoke/a.geodset -wait-ready 15s \

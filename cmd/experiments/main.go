@@ -57,6 +57,7 @@ func main() {
 	deadlineTargets := flag.Float64("deadline-targets-sec", 0, "watchdog: per-source simulated-clock ceiling for the target matrix phase (0 = off)")
 	deadlineReps := flag.Float64("deadline-reps-sec", 0, "watchdog: per-source simulated-clock ceiling for the representatives phase (0 = off)")
 	wallTimeout := flag.Duration("wall-timeout", 0, "watchdog: real-time safety net for the campaign (nondeterministic; 0 = off)")
+	progressEvery := flag.Int("progress", 0, "emit a structured campaign-progress record every N batches (0 = off; format/level via -log-format/-log-level)")
 	tele := telemetry.NewCLI()
 	flag.Parse()
 	if *quiet {
@@ -126,6 +127,10 @@ func main() {
 	rc := core.RunConfig{
 		Resume:        *resume,
 		SyncEveryRows: *syncEvery,
+	}
+	if *progressEvery > 0 {
+		rc.Progress = tele.Logger()
+		rc.ProgressEvery = *progressEvery
 	}
 	if *ckptDir != "" {
 		if err := os.MkdirAll(*ckptDir, 0o755); err != nil {

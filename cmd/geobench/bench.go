@@ -89,6 +89,12 @@ type Config struct {
 	// Allow503 admits 503 as a designed answer for valid addresses (runs
 	// against a fault-injecting profile).
 	Allow503 bool
+
+	// MetricsCheck scrapes /metrics before and after the run and requires
+	// the server's data-plane status ledger to move by exactly the
+	// client-side ledger (metrics.go). Any discrepancy, malformed
+	// exposition, or missing swap-counter increment is a violation.
+	MetricsCheck bool
 }
 
 // Report is the run verdict, written as JSON and summarized on stdout.
@@ -119,6 +125,14 @@ type Report struct {
 	GenAfter      uint64 `json:"generation_after"`
 	RecordsBefore int    `json:"records_before"`
 	RecordsAfter  int    `json:"records_after"`
+
+	// MetricsChecked reports the /metrics accounting pass ran and the
+	// server-side data-plane ledger (ServerStatuses) matched the client
+	// ledger exactly. MissingIDs counts 4xx/5xx answers without an
+	// X-Request-Id header (every failure must be joinable to a log line).
+	MetricsChecked bool           `json:"metrics_checked,omitempty"`
+	ServerStatuses map[string]int `json:"server_statuses,omitempty"`
+	MissingIDs     int            `json:"missing_request_ids,omitempty"`
 
 	// Violations is empty on a clean run; -strict turns any entry into a
 	// non-zero exit.
@@ -246,6 +260,8 @@ type sample struct {
 	status  int // 0 = dropped (transport error or client timeout)
 	ms      float64
 	swapGen uint64 // set on the request that performed the swap
+	// noID marks a 4xx/5xx answer missing the X-Request-Id header.
+	noID bool
 }
 
 // versionInfo mirrors geoserve's /version document.
@@ -299,6 +315,14 @@ func Run(cfg Config) (*Report, error) {
 	}
 	rep.GenBefore = before.Generation
 	rep.RecordsBefore = before.Records
+
+	var beforeLedger map[string]int64
+	var beforeSwaps int64
+	if cfg.MetricsCheck {
+		if beforeLedger, beforeSwaps, err = scrapeLedger(client, cfg.BaseURL); err != nil {
+			return nil, fmt.Errorf("metrics scrape before run: %w", err)
+		}
+	}
 
 	samples := make([]sample, cfg.Requests)
 	var cursor, completed atomic.Int64
@@ -359,6 +383,9 @@ func Run(cfg Config) (*Report, error) {
 			rep.SwapPerformed = true
 		}
 	}
+	if cfg.MetricsCheck {
+		checkMetrics(client, cfg, rep, beforeLedger, beforeSwaps)
+	}
 	return rep, nil
 }
 
@@ -385,6 +412,9 @@ func doRequest(client *http.Client, base string, mix *mixer, i int) sample {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	s.status = resp.StatusCode
+	// Every failure answer must carry the ID that joins it to exactly
+	// one server access-log record.
+	s.noID = s.status >= 400 && resp.Header.Get("X-Request-Id") == ""
 	return s
 }
 
@@ -444,6 +474,9 @@ func tally(cfg Config, rep *Report, samples []sample) {
 		if s.status == http.StatusTooManyRequests {
 			rep.Sheds++
 		}
+		if s.noID {
+			rep.MissingIDs++
+		}
 		if s.status == http.StatusOK || s.status == http.StatusNotFound {
 			admitted = append(admitted, s.ms)
 		}
@@ -465,6 +498,10 @@ func tally(cfg Config, rep *Report, samples []sample) {
 	if rep.GarbageViolations > 0 {
 		rep.Violations = append(rep.Violations,
 			fmt.Sprintf("%d garbage requests not rejected with 400", rep.GarbageViolations))
+	}
+	if rep.MissingIDs > 0 {
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("%d failure answers missing the X-Request-Id header", rep.MissingIDs))
 	}
 	if cfg.ExpectShed && rep.Sheds == 0 {
 		rep.Violations = append(rep.Violations, "overload run produced zero 429s (shedding never engaged)")

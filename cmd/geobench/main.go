@@ -25,6 +25,8 @@ import (
 	"os"
 	"sort"
 	"time"
+
+	"geoloc/internal/telemetry"
 )
 
 func main() {
@@ -50,8 +52,11 @@ func main() {
 	flag.BoolVar(&cfg.ExpectShed, "expect-shed", false, "fail the run if no request was shed with 429 (overload proofs)")
 	flag.Float64Var(&cfg.MaxP999Ms, "max-p999-ms", 0, "fail the run if admitted p999 latency exceeds this bound (0 = no bound)")
 	flag.BoolVar(&cfg.Allow503, "allow-503", false, "admit 503 as a designed answer (fault-injecting profiles)")
+	flag.BoolVar(&cfg.MetricsCheck, "metrics-check", false, "scrape /metrics before and after and require the server ledger to match the client ledger exactly")
 	outPath := flag.String("out", "", "write the JSON report here")
 	strict := flag.Bool("strict", false, "exit non-zero when the run has any violation")
+	var logFormat, logLevel string
+	telemetry.RegisterLogFlags(&logFormat, &logLevel)
 	flag.Parse()
 
 	if cfg.DatasetPath == "" {
@@ -78,6 +83,14 @@ func main() {
 	}
 
 	printSummary(rep)
+	// The stdout summary is for humans; violations also go to the
+	// structured log so CI pipelines can grep one record per failure.
+	if len(rep.Violations) > 0 {
+		lg := telemetry.NewLogger(os.Stderr, logFormat, logLevel)
+		for _, v := range rep.Violations {
+			lg.Warn("violation", "detail", v, "strict", *strict)
+		}
+	}
 	if *strict && len(rep.Violations) > 0 {
 		os.Exit(1)
 	}
@@ -109,6 +122,9 @@ func printSummary(rep *Report) {
 	}
 	if rep.Sheds > 0 {
 		fmt.Printf("  shed: %d requests answered 429\n", rep.Sheds)
+	}
+	if rep.MetricsChecked {
+		fmt.Println("  metrics: server data-plane ledger matches client ledger exactly")
 	}
 	if len(rep.Violations) == 0 {
 		fmt.Println("  verdict: CLEAN")

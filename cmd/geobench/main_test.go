@@ -68,17 +68,26 @@ func TestRunCleanSwap(t *testing.T) {
 		Seed:        1,
 		HitFrac:     0.7, MissFrac: 0.2, GarbageFrac: 0.1,
 		BatchEvery: 10, BatchSize: 4,
-		SwapAfter:  300,
-		SwapTo:     pathB,
-		AdminToken: "tok",
-		WaitReady:  5 * time.Second,
-		Timeout:    10 * time.Second,
+		SwapAfter:    300,
+		SwapTo:       pathB,
+		AdminToken:   "tok",
+		WaitReady:    5 * time.Second,
+		Timeout:      10 * time.Second,
+		MetricsCheck: true,
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(rep.Violations) != 0 {
 		t.Fatalf("violations on a clean run: %v", rep.Violations)
+	}
+	if !rep.MetricsChecked {
+		t.Fatal("metrics accounting pass did not run to a clean verdict")
+	}
+	for code, n := range rep.Statuses {
+		if rep.ServerStatuses[code] != n {
+			t.Errorf("server ledger %s = %d, client saw %d", code, rep.ServerStatuses[code], n)
+		}
 	}
 	if !rep.SwapPerformed || rep.GenAfter != 2 || rep.GenBefore != 1 {
 		t.Fatalf("swap not recorded: performed=%v gen %d -> %d", rep.SwapPerformed, rep.GenBefore, rep.GenAfter)
@@ -170,9 +179,10 @@ func TestRunOverloadSheds(t *testing.T) {
 		Workers:     32,
 		Seed:        3,
 		HitFrac:     0.8, MissFrac: 0.2,
-		ExpectShed: true,
-		MaxP999Ms:  30000,
-		Timeout:    30 * time.Second,
+		ExpectShed:   true,
+		MaxP999Ms:    30000,
+		Timeout:      30 * time.Second,
+		MetricsCheck: true,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -185,6 +195,48 @@ func TestRunOverloadSheds(t *testing.T) {
 	}
 	if rep.Dropped != 0 {
 		t.Errorf("dropped = %d, want 0 even under overload", rep.Dropped)
+	}
+	if !rep.MetricsChecked {
+		t.Error("accounting must stay exact under overload (sheds included)")
+	}
+}
+
+// TestLedgerMismatches pins the teeth of the accounting check: any
+// divergence between the client and server ledgers — missing counts,
+// extra counts, codes only one side saw — must surface.
+func TestLedgerMismatches(t *testing.T) {
+	client := map[string]int{"200": 10, "404": 3, "429": 2}
+	exact := map[string]int64{"200": 10, "404": 3, "429": 2}
+	if got := ledgerMismatches(client, exact); len(got) != 0 {
+		t.Fatalf("exact match reported mismatches: %v", got)
+	}
+	cases := map[string]map[string]int64{
+		"server lost a request": {"200": 9, "404": 3, "429": 2},
+		"server counted extra":  {"200": 10, "404": 3, "429": 2, "504": 1},
+		"client-only code":      {"200": 10, "404": 3},
+		"code swapped":          {"200": 10, "404": 2, "429": 3},
+	}
+	for name, server := range cases {
+		if got := ledgerMismatches(client, server); len(got) == 0 {
+			t.Errorf("%s: not detected", name)
+		}
+	}
+}
+
+// TestLedgerDelta pins the before/after subtraction, including counters
+// that only exist on one side of the run.
+func TestLedgerDelta(t *testing.T) {
+	before := map[string]int64{"200": 100, "404": 5}
+	after := map[string]int64{"200": 150, "404": 5, "429": 7}
+	delta := ledgerDelta(before, after)
+	want := map[string]int64{"200": 50, "429": 7}
+	if len(delta) != len(want) {
+		t.Fatalf("delta = %v, want %v", delta, want)
+	}
+	for code, n := range want {
+		if delta[code] != n {
+			t.Errorf("delta[%s] = %d, want %d", code, delta[code], n)
+		}
 	}
 }
 

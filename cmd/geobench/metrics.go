@@ -1,0 +1,141 @@
+// The accounting half of the load proof: with -metrics-check geobench
+// scrapes GET /metrics before and after the run and requires the
+// server's data-plane status ledger to move by EXACTLY the client-side
+// ledger — every request the client sent is accounted once on the
+// server, by status code, with nothing extra and nothing missing. A
+// malformed exposition, a missing geoserve.swaps increment across the
+// hot-swap, or any ledger discrepancy is a violation (-strict exits
+// non-zero).
+//
+// The server increments its ledger after the response is flushed, so the
+// final few counts can land microseconds after the client has its
+// answers; the check retries the scrape briefly before calling a
+// mismatch real.
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"sort"
+	"time"
+
+	"geoloc/internal/obs"
+)
+
+// metricsSettle bounds how long the after-run scrape retries for the
+// server ledger to catch up with responses already delivered.
+const metricsSettle = 2 * time.Second
+
+// scrapeLedger fetches and lint-parses /metrics, returning the
+// data-plane status ledger (code → count) and the swap counter.
+func scrapeLedger(client *http.Client, base string) (map[string]int64, int64, error) {
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, 0, fmt.Errorf("/metrics answered %d", resp.StatusCode)
+	}
+	sc, err := obs.ParseExposition(resp.Body)
+	if err != nil {
+		return nil, 0, fmt.Errorf("malformed exposition: %w", err)
+	}
+	ledger := map[string]int64{}
+	for _, s := range sc.Find("geoserve_status_total", map[string]string{"plane": "data"}) {
+		ledger[s.Labels["code"]] += int64(s.Value)
+	}
+	var swaps int64
+	for _, s := range sc.Find("geoserve_swaps_total", nil) {
+		swaps += int64(s.Value)
+	}
+	return ledger, swaps, nil
+}
+
+// ledgerDelta subtracts the before-run ledger from the after-run one.
+func ledgerDelta(before, after map[string]int64) map[string]int64 {
+	delta := map[string]int64{}
+	for code, n := range after {
+		if d := n - before[code]; d != 0 {
+			delta[code] = d
+		}
+	}
+	for code := range before {
+		if _, seen := after[code]; !seen {
+			delta[code] = -before[code]
+		}
+	}
+	return delta
+}
+
+// ledgerMismatches compares the server's data-plane delta against the
+// client ledger and lists every discrepancy (empty = exact match).
+func ledgerMismatches(client map[string]int, server map[string]int64) []string {
+	codes := map[string]bool{}
+	for c := range client {
+		codes[c] = true
+	}
+	for c := range server {
+		codes[c] = true
+	}
+	sorted := make([]string, 0, len(codes))
+	for c := range codes {
+		sorted = append(sorted, c)
+	}
+	sort.Strings(sorted)
+	var out []string
+	for _, c := range sorted {
+		if int64(client[c]) != server[c] {
+			out = append(out, fmt.Sprintf("status %s: client ledger %d, server ledger moved %d",
+				c, client[c], server[c]))
+		}
+	}
+	return out
+}
+
+// checkMetrics runs the full accounting pass after the load run,
+// appending violations to the report. before is the pre-run scrape;
+// a nil before means the pre-run scrape itself failed (already a
+// violation, recorded by the caller).
+func checkMetrics(client *http.Client, cfg Config, rep *Report, beforeLedger map[string]int64, beforeSwaps int64) {
+	if rep.Dropped > 0 {
+		// A dropped request may or may not have reached the server, so
+		// exact accounting is undefined; the drop itself is already a
+		// violation.
+		rep.Violations = append(rep.Violations,
+			fmt.Sprintf("metrics accounting skipped: %d dropped requests make the ledger comparison undefined", rep.Dropped))
+		return
+	}
+
+	deadline := time.Now().Add(metricsSettle)
+	var mismatches []string
+	for {
+		afterLedger, afterSwaps, err := scrapeLedger(client, cfg.BaseURL)
+		if err != nil {
+			rep.Violations = append(rep.Violations, fmt.Sprintf("metrics scrape after run: %v", err))
+			return
+		}
+		delta := ledgerDelta(beforeLedger, afterLedger)
+		mismatches = ledgerMismatches(rep.Statuses, delta)
+		if len(mismatches) == 0 {
+			rep.ServerStatuses = map[string]int{}
+			for code, n := range delta {
+				rep.ServerStatuses[code] = int(n)
+			}
+			rep.MetricsChecked = true
+			if rep.SwapPerformed && afterSwaps-beforeSwaps < 1 {
+				rep.Violations = append(rep.Violations,
+					fmt.Sprintf("hot-swap performed but geoserve.swaps moved %d (before %d, after %d)",
+						afterSwaps-beforeSwaps, beforeSwaps, afterSwaps))
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	for _, m := range mismatches {
+		rep.Violations = append(rep.Violations, "metrics accounting: "+m)
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -34,6 +35,7 @@ import (
 	"geoloc/internal/core"
 	"geoloc/internal/dataset"
 	"geoloc/internal/faults"
+	"geoloc/internal/obs"
 	"geoloc/internal/serve"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
@@ -63,6 +65,16 @@ type options struct {
 	readHeaderTimeout time.Duration
 	writeTimeout      time.Duration
 	idleTimeout       time.Duration
+
+	logSample        int
+	traceSample      int
+	sloAvailability  float64
+	sloLatencyP99    float64
+	sloLatencyBudget time.Duration
+	sloBurnThreshold float64
+
+	accessLog *slog.Logger
+	reg       *telemetry.Registry
 }
 
 func main() {
@@ -103,9 +115,28 @@ func main() {
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 120*time.Second,
 		"http.Server IdleTimeout for keep-alive connections")
 
+	flag.IntVar(&o.logSample, "log-sample", 0,
+		"log 1 in N successful requests to the access log (0 = errors only)")
+	flag.IntVar(&o.traceSample, "trace-sample", 0,
+		"record per-request stage spans for 1 in N requests (0 = off; export with -trace)")
+	flag.Float64Var(&o.sloAvailability, "slo-availability", 0.999,
+		"availability SLO objective: target fraction of data-plane requests answered without a 5xx")
+	flag.Float64Var(&o.sloLatencyP99, "slo-latency-objective", 0.99,
+		"latency SLO objective: target fraction of data-plane requests within -slo-latency-budget")
+	flag.DurationVar(&o.sloLatencyBudget, "slo-latency-budget", 100*time.Millisecond,
+		"latency budget the latency SLO objective applies to")
+	flag.Float64Var(&o.sloBurnThreshold, "slo-burn-threshold", 0,
+		"fast-window burn rate above which admission tightens the effective queue bound (0 = observe only)")
+
 	tele := telemetry.NewCLI()
 	flag.Parse()
 	tele.Start()
+	o.accessLog = tele.Logger()
+	// The serving registry is always enabled — GET /metrics is part of
+	// the serving contract, not an opt-in diagnostic like the global
+	// default registry (which stays gated behind the telemetry flags).
+	o.reg = telemetry.New()
+	tele.Attach("geoserve", o.reg)
 
 	err := run(o)
 	// One Finish on every exit path: it is idempotent, but the log.Fatal
@@ -153,7 +184,18 @@ func run(o options) error {
 		RequestTimeout: o.requestTimeout,
 		RetryAfter:     o.retryAfter,
 		AdminToken:     o.adminToken,
-	}, telemetry.Default())
+
+		AccessLog:   o.accessLog,
+		LogSample:   o.logSample,
+		TraceSample: o.traceSample,
+		SLO: &obs.SLOConfig{
+			AvailabilityObjective: o.sloAvailability,
+			LatencyObjective:      o.sloLatencyP99,
+			LatencyBudgetMs:       float64(o.sloLatencyBudget) / float64(time.Millisecond),
+		},
+		BurnThreshold: o.sloBurnThreshold,
+		MetricsLabel:  "geoserve",
+	}, o.reg)
 	source := o.dsPath
 	if source == "" {
 		source = "compiled:" + o.scale

@@ -371,6 +371,21 @@ func (j *Journal) AppendEvery(k Kind, payload []byte, n int) error {
 	return nil
 }
 
+// Size reports the journal's current on-disk length in bytes — magic,
+// header, and every appended frame, fsynced or not. 0 after Close.
+func (j *Journal) Size() int64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return 0
+	}
+	st, err := j.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return st.Size()
+}
+
 // Sync fsyncs the journal.
 func (j *Journal) Sync() error {
 	j.mu.Lock()

@@ -21,6 +21,7 @@ import (
 	"crypto/sha256"
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"math"
 	"runtime"
 	"strings"
@@ -114,6 +115,16 @@ type RunConfig struct {
 	// live-measured row has been appended to the journal — the
 	// kill-point hook the crash/resume tests use.
 	OnRowJournaled func(phase string, vp int)
+	// Progress, when non-nil, receives one structured "progress" record
+	// per ProgressEvery completed rows: rows done / total across both
+	// phases, the slowest simulated source clock so far, the remaining
+	// simulated seconds that rate projects, and the journal's current
+	// size in bytes. Purely observational — it reads the same row
+	// accounting the journal records and never affects measurement.
+	Progress *slog.Logger
+	// ProgressEvery is the row cadence of Progress records (<= 0 with a
+	// non-nil Progress reports every row).
+	ProgressEvery int
 }
 
 // RunResult summarizes a Run.
@@ -213,15 +224,27 @@ func (c *Campaign) Run(ctx context.Context, rc RunConfig) (*RunResult, error) {
 		metRestored.Add(int64(res.RestoredRows))
 	}
 
+	prog := newProgressMeter(rc, 2*len(c.VPs), j)
+	if prog != nil && res.RestoredRows > 0 {
+		// Restored rows already advanced the client's simulated clocks;
+		// count them done and emit one record so a resumed run starts
+		// its reporting from the right place.
+		var clk int64
+		if c.Client != nil {
+			clk = int64(c.Client.Stats().CampaignSec * 1e6)
+		}
+		prog.restored(res.RestoredRows, clk)
+	}
+
 	err := c.runPhase(ctx, hard, PhaseTargets, rowMatrixTargets, c.TargetRTT,
-		restoredT, rc, j, res, phaseDigests,
+		restoredT, rc, j, res, phaseDigests, prog,
 		func(hctx context.Context, vp int, rec *atlas.BatchStats, deadline float64) bool {
 			return c.measureTargetRow(hctx, c.TargetRTT, vp, rec, deadline)
 		})
 	if err == nil && !res.Interrupted {
 		reps := c.repHosts()
 		err = c.runPhase(ctx, hard, PhaseReps, rowMatrixReps, c.RepRTT,
-			restoredR, rc, j, res, phaseDigests,
+			restoredR, rc, j, res, phaseDigests, prog,
 			func(hctx context.Context, vp int, rec *atlas.BatchStats, deadline float64) bool {
 				return c.measureRepRow(hctx, c.RepRTT, vp, reps, rec, deadline)
 			})
@@ -257,6 +280,7 @@ func (c *Campaign) runPhase(
 	restored map[int]bool,
 	rc RunConfig, j *checkpoint.Journal, res *RunResult,
 	phaseDigests map[string][sha256.Size]byte,
+	prog *progressMeter,
 	measure func(ctx context.Context, vp int, rec *atlas.BatchStats, deadline float64) bool,
 ) error {
 	defer telemetry.Default().StartSpan("phase." + name).End()
@@ -293,6 +317,7 @@ func (c *Campaign) runPhase(
 					}
 				}
 				mu.Unlock()
+				prog.row(name, rec.SrcClockUSec)
 				if j != nil {
 					payload := encodeRow(matrix, vp, m.RTT[vp], stalled, rec)
 					err := j.AppendEvery(checkpoint.KindRow, payload, rc.SyncEveryRows)
@@ -345,6 +370,89 @@ func (c *Campaign) runPhase(
 		return j.Sync()
 	}
 	return nil
+}
+
+// progressMeter emits the structured campaign-progress records behind
+// RunConfig.Progress. The clock it reports is the slowest simulated
+// source clock seen so far — the same quantity ClientStats.CampaignSec
+// converges to — so the ETA is a projection in simulated seconds, not
+// wall time, and is therefore as deterministic as the campaign itself.
+type progressMeter struct {
+	lg    *slog.Logger
+	every int
+	total int
+	j     *checkpoint.Journal
+
+	mu        sync.Mutex
+	done      int
+	clockUSec int64
+}
+
+// newProgressMeter returns nil (all methods nil-safe) when progress
+// reporting is off.
+func newProgressMeter(rc RunConfig, total int, j *checkpoint.Journal) *progressMeter {
+	if rc.Progress == nil {
+		return nil
+	}
+	every := rc.ProgressEvery
+	if every <= 0 {
+		every = 1
+	}
+	return &progressMeter{lg: rc.Progress, every: every, total: total, j: j}
+}
+
+// restored accounts rows replayed from the journal and emits one record
+// immediately, regardless of cadence.
+func (p *progressMeter) restored(rows int, clockUSec int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done += rows
+	if clockUSec > p.clockUSec {
+		p.clockUSec = clockUSec
+	}
+	p.mu.Unlock()
+	p.emit("restore")
+}
+
+// row accounts one live-measured row (clockUSec is its source's final
+// simulated clock; raw-platform campaigns report 0) and emits a record
+// at the configured cadence, plus always on the final row.
+func (p *progressMeter) row(phase string, clockUSec int64) {
+	if p == nil {
+		return
+	}
+	p.mu.Lock()
+	p.done++
+	if clockUSec > p.clockUSec {
+		p.clockUSec = clockUSec
+	}
+	done := p.done
+	p.mu.Unlock()
+	if done%p.every == 0 || done == p.total {
+		p.emit(phase)
+	}
+}
+
+func (p *progressMeter) emit(phase string) {
+	p.mu.Lock()
+	done, clk := p.done, p.clockUSec
+	p.mu.Unlock()
+	simS := float64(clk) / 1e6
+	attrs := []any{
+		slog.String("phase", phase),
+		slog.Int("rows_done", done),
+		slog.Int("rows_total", p.total),
+		slog.Float64("sim_clock_s", simS),
+	}
+	if done > 0 && done < p.total && simS > 0 {
+		attrs = append(attrs, slog.Float64("eta_sim_s", simS*float64(p.total-done)/float64(done)))
+	}
+	if p.j != nil {
+		attrs = append(attrs, slog.Int64("journal_bytes", p.j.Size()))
+	}
+	p.lg.Info("progress", attrs...)
 }
 
 // phaseWorkers mirrors parallelRows' worker-count policy.

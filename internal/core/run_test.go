@@ -1,10 +1,15 @@
 package core
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
+	"log/slog"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"testing"
 
 	"geoloc/internal/atlas"
@@ -418,5 +423,124 @@ func TestConfigHashSensitivity(t *testing.T) {
 	ccfg.MaxAttempts++
 	if NewResilientCampaign(world.TinyConfig(), faults.Realistic(), ccfg).ConfigHash() == base {
 		t.Fatal("ConfigHash ignores client tuning")
+	}
+}
+
+// TestRunProgressRecords: the -progress hook reports every completed row
+// (cadence 1) with monotone rows_done reaching rows_total, a growing
+// journal size, and — for client campaigns — a simulated clock that the
+// ETA projection is derived from. It must not perturb the matrices.
+func TestRunProgressRecords(t *testing.T) {
+	var buf bytes.Buffer
+	c := tinyCampaign("realistic")
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	res, err := c.Run(context.Background(), RunConfig{
+		JournalPath:   journal,
+		Progress:      slog.New(slog.NewJSONHandler(&buf, nil)),
+		ProgressEvery: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Journal.Close()
+
+	plain := tinyCampaign("realistic")
+	plain.BuildMatrices()
+	wt, wr := digests(plain)
+	gt, gr := digests(c)
+	if gt != wt || gr != wr {
+		t.Fatal("progress reporting changed the matrices")
+	}
+
+	type rec struct {
+		Msg          string  `json:"msg"`
+		Phase        string  `json:"phase"`
+		RowsDone     int     `json:"rows_done"`
+		RowsTotal    int     `json:"rows_total"`
+		SimClockS    float64 `json:"sim_clock_s"`
+		EtaSimS      float64 `json:"eta_sim_s"`
+		JournalBytes int64   `json:"journal_bytes"`
+	}
+	var recs []rec
+	dec := json.NewDecoder(&buf)
+	for dec.More() {
+		var r rec
+		if err := dec.Decode(&r); err != nil {
+			t.Fatalf("progress record does not parse: %v", err)
+		}
+		if r.Msg == "progress" {
+			recs = append(recs, r)
+		}
+	}
+	total := 2 * len(c.VPs)
+	if len(recs) != total {
+		t.Fatalf("cadence 1 over %d rows emitted %d records", total, len(recs))
+	}
+	prevDone := 0
+	var prevClock float64
+	sawEta := false
+	for i, r := range recs {
+		if r.RowsTotal != total {
+			t.Fatalf("record %d: rows_total %d, want %d", i, r.RowsTotal, total)
+		}
+		if r.RowsDone != prevDone+1 {
+			t.Fatalf("record %d: rows_done %d after %d", i, r.RowsDone, prevDone)
+		}
+		prevDone = r.RowsDone
+		if r.SimClockS < prevClock {
+			t.Fatalf("record %d: simulated clock went backwards (%f -> %f)", i, prevClock, r.SimClockS)
+		}
+		prevClock = r.SimClockS
+		if r.Phase != PhaseTargets && r.Phase != PhaseReps {
+			t.Fatalf("record %d: unknown phase %q", i, r.Phase)
+		}
+		if r.JournalBytes <= 0 {
+			t.Fatalf("record %d: journal_bytes %d with journaling on", i, r.JournalBytes)
+		}
+		if r.EtaSimS > 0 {
+			sawEta = true
+		}
+	}
+	if recs[len(recs)-1].RowsDone != total {
+		t.Fatalf("final record reports %d/%d rows", recs[len(recs)-1].RowsDone, total)
+	}
+	if recs[len(recs)-1].SimClockS <= 0 {
+		t.Fatal("client campaign never reported a simulated clock")
+	}
+	if !sawEta {
+		t.Fatal("no record carried an ETA projection")
+	}
+}
+
+// TestRunProgressOnResume: a resumed run opens its reporting with one
+// "restore" record accounting every replayed row.
+func TestRunProgressOnResume(t *testing.T) {
+	journal := filepath.Join(t.TempDir(), "c.ckpt")
+	c := tinyCampaign("none")
+	res, err := c.Run(context.Background(), RunConfig{JournalPath: journal})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Journal.Close()
+
+	var buf bytes.Buffer
+	c2 := tinyCampaign("none")
+	res2, err := c2.Run(context.Background(), RunConfig{
+		JournalPath: journal, Resume: true,
+		Progress: slog.New(slog.NewJSONHandler(&buf, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2.Journal.Close()
+	if res2.RestoredRows != 2*len(c2.VPs) {
+		t.Fatalf("restored %d rows, want all %d", res2.RestoredRows, 2*len(c2.VPs))
+	}
+	out := buf.String()
+	if !strings.Contains(out, `"phase":"restore"`) {
+		t.Fatalf("no restore progress record in %q", out)
+	}
+	if !strings.Contains(out, `"rows_done":`+strconv.Itoa(2*len(c2.VPs))) {
+		t.Fatalf("restore record does not account all rows: %q", out)
 	}
 }

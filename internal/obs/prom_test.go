@@ -1,0 +1,243 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"geoloc/internal/telemetry"
+)
+
+// render writes the registries and immediately re-parses the output with
+// the strict linter — every exposition test doubles as a lint test.
+func render(t *testing.T, regs ...LabeledRegistry) (*Scrape, string) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WritePrometheus(&buf, regs...); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	sc, err := ParseExposition(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("exposition does not lint:\n%s\nerror: %v", buf.String(), err)
+	}
+	return sc, buf.String()
+}
+
+func TestWritePrometheusBasics(t *testing.T) {
+	r := telemetry.New()
+	r.Counter("geoserve.hits").Add(42)
+	r.Gauge("geoserve.queue_depth").Set(7.5)
+	r.Histogram("geoserve.latency_ms", []float64{1, 5, 25}).Observe(3)
+
+	sc, text := render(t, LabeledRegistry{Reg: r})
+	if v, err := sc.Value("geoserve_hits_total", nil); err != nil || v != 42 {
+		t.Errorf("counter: %v %v\n%s", v, err, text)
+	}
+	if v, err := sc.Value("geoserve_queue_depth", nil); err != nil || v != 7.5 {
+		t.Errorf("gauge: %v %v", v, err)
+	}
+	if sc.Types["geoserve_hits_total"] != "counter" ||
+		sc.Types["geoserve_queue_depth"] != "gauge" ||
+		sc.Types["geoserve_latency_ms"] != "histogram" {
+		t.Errorf("TYPE lines wrong: %v", sc.Types)
+	}
+	// One observation of 3ms: le=1 empty, le=5 and le=25 and +Inf all 1.
+	for le, want := range map[string]float64{"1": 0, "5": 1, "25": 1, "+Inf": 1} {
+		v, err := sc.Value("geoserve_latency_ms_bucket", map[string]string{"le": le})
+		if err != nil || v != want {
+			t.Errorf("bucket le=%s: got %v (%v), want %v", le, v, err, want)
+		}
+	}
+	if v, _ := sc.Value("geoserve_latency_ms_count", nil); v != 1 {
+		t.Errorf("_count = %v, want 1", v)
+	}
+	if v, _ := sc.Value("geoserve_latency_ms_sum", nil); v != 3 {
+		t.Errorf("_sum = %v, want 3", v)
+	}
+}
+
+// TestWritePrometheusEmptyHistogram: a histogram with zero observations
+// must still render a complete, lintable bucket ladder.
+func TestWritePrometheusEmptyHistogram(t *testing.T) {
+	r := telemetry.New()
+	r.Histogram("empty.hist", []float64{0.5, 1})
+	sc, _ := render(t, LabeledRegistry{Reg: r})
+	if v, err := sc.Value("empty_hist_bucket", map[string]string{"le": "+Inf"}); err != nil || v != 0 {
+		t.Errorf("+Inf bucket: %v %v", v, err)
+	}
+	if v, err := sc.Value("empty_hist_count", nil); err != nil || v != 0 {
+		t.Errorf("_count: %v %v", v, err)
+	}
+	if v, err := sc.Value("empty_hist_sum", nil); err != nil || v != 0 {
+		t.Errorf("_sum: %v %v", v, err)
+	}
+}
+
+// TestWritePrometheusLabeledNames: telemetry's embedded-label convention
+// becomes real Prometheus labels, merged under one family.
+func TestWritePrometheusLabeledNames(t *testing.T) {
+	r := telemetry.New()
+	r.Counter("geoserve.status{code=200,plane=data}").Add(10)
+	r.Counter("geoserve.status{code=429,plane=data}").Add(3)
+	r.Counter("geoserve.status{code=200,plane=control}").Add(2)
+	sc, text := render(t, LabeledRegistry{Reg: r})
+	if got := len(sc.Find("geoserve_status_total", nil)); got != 3 {
+		t.Fatalf("family has %d samples, want 3:\n%s", got, text)
+	}
+	v, err := sc.Value("geoserve_status_total", map[string]string{"code": "429", "plane": "data"})
+	if err != nil || v != 3 {
+		t.Errorf("labeled sample: %v %v", v, err)
+	}
+	if strings.Count(text, "# TYPE geoserve_status_total") != 1 {
+		t.Errorf("family must declare TYPE exactly once:\n%s", text)
+	}
+}
+
+// TestWritePrometheusEscaping: hostile metric/label content must
+// sanitize into valid exposition, not corrupt it.
+func TestWritePrometheusEscaping(t *testing.T) {
+	r := telemetry.New()
+	r.Counter(`weird metric-name.with/slashes`).Add(1)
+	r.Counter(`labeled{path=/lookup,msg=say "hi"\now}`).Add(5)
+	r.Gauge(`0leading.digit`).Set(1)
+	sc, text := render(t, LabeledRegistry{Label: "pipe line", Reg: r})
+	if _, err := sc.Value("weird_metric_name_with_slashes_total",
+		map[string]string{"registry": "pipe line"}); err != nil {
+		t.Errorf("sanitized counter missing: %v\n%s", err, text)
+	}
+	v, err := sc.Value("labeled_total", map[string]string{
+		"path": "/lookup", "msg": `say "hi"\now`})
+	if err != nil || v != 5 {
+		t.Errorf("escaped label round-trip: %v %v\n%s", v, err, text)
+	}
+	if _, err := sc.Value("_0leading_digit", map[string]string{"registry": "pipe line"}); err != nil {
+		t.Errorf("leading digit not sanitized: %v\n%s", err, text)
+	}
+}
+
+// TestWritePrometheusNameCollision: two telemetry names that sanitize to
+// the same family must not merge silently.
+func TestWritePrometheusNameCollision(t *testing.T) {
+	r := telemetry.New()
+	r.Counter("a.b").Add(1)
+	r.Counter("a/b").Add(2)
+	sc, text := render(t, LabeledRegistry{Reg: r})
+	total := 0.0
+	for _, s := range sc.Samples {
+		if strings.HasPrefix(s.Name, "a_b_total") {
+			total += s.Value
+		}
+	}
+	if total != 3 {
+		t.Errorf("collision lost a counter (sum %v, want 3):\n%s", total, text)
+	}
+}
+
+// TestWritePrometheusCumulativeMonotonic: buckets render cumulatively
+// and _count equals the +Inf bucket, across a spread of observations.
+func TestWritePrometheusCumulativeMonotonic(t *testing.T) {
+	r := telemetry.New()
+	h := r.Histogram("lat", []float64{1, 2, 4, 8})
+	for i := 0; i < 100; i++ {
+		h.Observe(float64(i%10) + 0.5)
+	}
+	sc, _ := render(t, LabeledRegistry{Reg: r})
+	prev := -1.0
+	for _, le := range []string{"1", "2", "4", "8", "+Inf"} {
+		v, err := sc.Value("lat_bucket", map[string]string{"le": le})
+		if err != nil {
+			t.Fatalf("bucket le=%s: %v", le, err)
+		}
+		if v < prev {
+			t.Fatalf("bucket le=%s not cumulative: %v < %v", le, v, prev)
+		}
+		prev = v
+	}
+	if count, _ := sc.Value("lat_count", nil); count != prev || count != 100 {
+		t.Errorf("_count %v != +Inf bucket %v (want 100)", count, prev)
+	}
+}
+
+func TestWritePrometheusMultiRegistry(t *testing.T) {
+	a, b := telemetry.New(), telemetry.New()
+	a.Counter("shared.requests").Add(1)
+	b.Counter("shared.requests").Add(2)
+	sc, text := render(t,
+		LabeledRegistry{Label: "pipeline", Reg: a},
+		LabeledRegistry{Label: "campaign", Reg: b})
+	if v, err := sc.Value("shared_requests_total", map[string]string{"registry": "campaign"}); err != nil || v != 2 {
+		t.Errorf("campaign sample: %v %v\n%s", v, err, text)
+	}
+	if got := len(sc.Find("shared_requests_total", nil)); got != 2 {
+		t.Errorf("want 2 registry-labeled samples, got %d", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		1:           "1",
+		0.25:        "0.25",
+		math.Inf(1): "+Inf",
+	}
+	for in, want := range cases {
+		if got := formatFloat(in); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestParseExpositionRejects is the promtool-check-metrics half: each
+// malformed document must fail with a clear error.
+func TestParseExpositionRejects(t *testing.T) {
+	cases := map[string]string{
+		"bad metric name":     "1bad_name 3\n",
+		"missing value":       "metric_name\n",
+		"bad value":           "metric_name abc\n",
+		"bad label name":      `m{1bad="x"} 1` + "\n",
+		"unquoted label":      `m{l=x} 1` + "\n",
+		"unterminated labels": `m{l="x" 1` + "\n",
+		"bad escape":          `m{l="\q"} 1` + "\n",
+		"duplicate sample":    "m{a=\"1\"} 1\nm{a=\"1\"} 2\n",
+		"duplicate label":     `m{a="1",a="2"} 1` + "\n",
+		"duplicate TYPE":      "# TYPE m counter\n# TYPE m gauge\n",
+		"unknown TYPE":        "# TYPE m sometype\n",
+		"TYPE after samples":  "m 1\n# TYPE m counter\n",
+		"non-cumulative hist": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+		"missing +Inf bucket": "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_sum 1\nh_count 5\n",
+		"count != +Inf":       "# TYPE h histogram\nh_bucket{le=\"1\"} 2\nh_bucket{le=\"+Inf\"} 5\nh_sum 1\nh_count 4\n",
+		"hist missing sum":    "# TYPE h histogram\nh_bucket{le=\"+Inf\"} 5\nh_count 5\n",
+		"bad timestamp":       "m 1 12.5\n",
+	}
+	for name, doc := range cases {
+		if _, err := ParseExposition(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: document accepted, want error:\n%s", name, doc)
+		}
+	}
+}
+
+func TestParseExpositionAccepts(t *testing.T) {
+	doc := `# A free comment
+# HELP m something helpful
+# TYPE m counter
+m{path="/x",msg="say \"hi\"\n"} 12 1700000000
+other_metric 3.5
+# TYPE h histogram
+h_bucket{le="0.5"} 1
+h_bucket{le="+Inf"} 2
+h_sum 1.25
+h_count 2
+`
+	sc, err := ParseExposition(strings.NewReader(doc))
+	if err != nil {
+		t.Fatalf("valid document rejected: %v", err)
+	}
+	v, err := sc.Value("m", map[string]string{"path": "/x"})
+	if err != nil || v != 12 {
+		t.Errorf("sample m: %v %v", v, err)
+	}
+	got := sc.Find("m", nil)[0].Labels["msg"]
+	if got != "say \"hi\"\n" {
+		t.Errorf("escape decoding: %q", got)
+	}
+}

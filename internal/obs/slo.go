@@ -1,0 +1,261 @@
+// The SLO engine: rolling multi-window availability and tail-latency
+// objectives with error-budget burn rates, the feedback signal that lets
+// admission control tighten BEFORE the server collapses instead of
+// after.
+//
+// The model follows the multi-window burn-rate alerting practice: each
+// objective is tracked over several windows at once (fast windows react
+// in seconds, slow windows filter noise), and the burn rate is the
+// observed error rate divided by the rate the error budget allows — a
+// burn of 1.0 spends the budget exactly on schedule, 10 spends a
+// 30-day budget in 3 days. Requests land in per-second ring buckets
+// (counts plus a fixed-bound latency histogram), so a window aggregate
+// is a cheap sum and the memory is O(windowSeconds × buckets),
+// independent of traffic.
+package obs
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// SLOConfig declares the objectives.
+type SLOConfig struct {
+	// AvailabilityObjective is the target fraction of requests answered
+	// without a server error (5xx), e.g. 0.999. Zero disables the
+	// availability SLO.
+	AvailabilityObjective float64
+	// LatencyObjective is the target fraction of requests answering
+	// within LatencyBudgetMs, e.g. 0.99 — "p99 under budget". Zero
+	// disables the latency SLO.
+	LatencyObjective float64
+	// LatencyBudgetMs is the latency budget the objective applies to.
+	LatencyBudgetMs float64
+	// Windows are the rolling windows, ascending. Empty gets the
+	// default 5s / 1m / 30m.
+	Windows []time.Duration
+	// LatencyBoundsMs are the histogram bounds used for window p99
+	// estimation. Empty gets a default decade ladder.
+	LatencyBoundsMs []float64
+}
+
+// DefaultSLOWindows is the default window ladder.
+var DefaultSLOWindows = []time.Duration{5 * time.Second, time.Minute, 30 * time.Minute}
+
+// defaultSLOBounds buckets window latency for p99 estimation.
+var defaultSLOBounds = []float64{0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000}
+
+// WindowStatus is one window's aggregate.
+type WindowStatus struct {
+	Window time.Duration `json:"window"`
+	// Requests is the number of observations in the window.
+	Requests int64 `json:"requests"`
+	// Availability is the non-error fraction (1 when empty).
+	Availability float64 `json:"availability"`
+	// AvailabilityBurn is the availability error-budget burn rate
+	// (0 when the SLO is disabled or the window is empty).
+	AvailabilityBurn float64 `json:"availability_burn"`
+	// P99Ms is the estimated p99 latency (upper bound of the bucket the
+	// 99th percentile falls in; 0 when empty).
+	P99Ms float64 `json:"p99_ms"`
+	// LatencyBurn is the latency error-budget burn rate: the fraction
+	// of requests over budget divided by the allowed fraction.
+	LatencyBurn float64 `json:"latency_burn"`
+}
+
+// secBucket is one second of observations.
+type secBucket struct {
+	epochSec int64
+	total    int64
+	errors   int64
+	overMs   int64 // observations above LatencyBudgetMs
+	lat      []int64
+}
+
+// SLO tracks the objectives. All methods are safe for concurrent use.
+type SLO struct {
+	cfg     SLOConfig
+	now     func() time.Time
+	budgetI int // first latency-bound index strictly above the budget
+
+	mu   sync.Mutex
+	ring []secBucket
+}
+
+// NewSLO builds an engine. now is injectable for deterministic tests;
+// nil uses the wall clock.
+func NewSLO(cfg SLOConfig, now func() time.Time) *SLO {
+	if now == nil {
+		now = time.Now
+	}
+	if len(cfg.Windows) == 0 {
+		cfg.Windows = DefaultSLOWindows
+	}
+	if len(cfg.LatencyBoundsMs) == 0 {
+		cfg.LatencyBoundsMs = defaultSLOBounds
+	}
+	maxWin := cfg.Windows[len(cfg.Windows)-1]
+	n := int(maxWin/time.Second) + 2
+	s := &SLO{cfg: cfg, now: now, ring: make([]secBucket, n)}
+	for i := range s.ring {
+		s.ring[i].epochSec = -1
+		s.ring[i].lat = make([]int64, len(cfg.LatencyBoundsMs)+1)
+	}
+	s.budgetI = len(cfg.LatencyBoundsMs)
+	for i, b := range cfg.LatencyBoundsMs {
+		if b >= cfg.LatencyBudgetMs {
+			s.budgetI = i
+			break
+		}
+	}
+	return s
+}
+
+// Config returns the resolved configuration.
+func (s *SLO) Config() SLOConfig { return s.cfg }
+
+// Observe records one finished request: its latency and whether it was
+// a server error (5xx). Shed requests (429) are deliberately NOT
+// errors: shedding is the designed response to overload, and counting
+// it against availability would make the controller tighten the queue,
+// shed more, and read that as further burn — positive feedback.
+func (s *SLO) Observe(latencyMs float64, serverErr bool) {
+	if s == nil {
+		return
+	}
+	sec := s.now().Unix()
+	s.mu.Lock()
+	b := s.bucket(sec)
+	b.total++
+	if serverErr {
+		b.errors++
+	}
+	if s.cfg.LatencyBudgetMs > 0 && latencyMs > s.cfg.LatencyBudgetMs {
+		b.overMs++
+	}
+	i := 0
+	for i < len(s.cfg.LatencyBoundsMs) && latencyMs > s.cfg.LatencyBoundsMs[i] {
+		i++
+	}
+	b.lat[i]++
+	s.mu.Unlock()
+}
+
+// bucket returns the ring bucket for sec, recycling stale slots.
+// Callers hold mu.
+func (s *SLO) bucket(sec int64) *secBucket {
+	b := &s.ring[int(sec%int64(len(s.ring)))]
+	if b.epochSec != sec {
+		b.epochSec = sec
+		b.total, b.errors, b.overMs = 0, 0, 0
+		for i := range b.lat {
+			b.lat[i] = 0
+		}
+	}
+	return b
+}
+
+// Status aggregates every window as of now.
+func (s *SLO) Status() []WindowStatus {
+	if s == nil {
+		return nil
+	}
+	sec := s.now().Unix()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]WindowStatus, 0, len(s.cfg.Windows))
+	lat := make([]int64, len(s.cfg.LatencyBoundsMs)+1)
+	for _, win := range s.cfg.Windows {
+		ws := WindowStatus{Window: win, Availability: 1}
+		var total, errors, over int64
+		for i := range lat {
+			lat[i] = 0
+		}
+		secs := int64(win / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		// The current (partial) second counts; the window is [sec-secs+1, sec].
+		for off := int64(0); off < secs; off++ {
+			b := &s.ring[int((sec-off)%int64(len(s.ring)))]
+			if b.epochSec != sec-off {
+				continue
+			}
+			total += b.total
+			errors += b.errors
+			over += b.overMs
+			for i := range lat {
+				lat[i] += b.lat[i]
+			}
+		}
+		ws.Requests = total
+		if total > 0 {
+			ws.Availability = 1 - float64(errors)/float64(total)
+			if s.cfg.AvailabilityObjective > 0 && s.cfg.AvailabilityObjective < 1 {
+				ws.AvailabilityBurn = (float64(errors) / float64(total)) / (1 - s.cfg.AvailabilityObjective)
+			}
+			if s.cfg.LatencyObjective > 0 && s.cfg.LatencyObjective < 1 {
+				ws.LatencyBurn = (float64(over) / float64(total)) / (1 - s.cfg.LatencyObjective)
+			}
+			rank := (total*99 + 99) / 100 // ceil(0.99 * total)
+			var cum int64
+			for i, n := range lat {
+				cum += n
+				if cum >= rank {
+					if i < len(s.cfg.LatencyBoundsMs) {
+						ws.P99Ms = s.cfg.LatencyBoundsMs[i]
+					} else if len(s.cfg.LatencyBoundsMs) > 0 {
+						// Above the last bound: report the overflow bound.
+						ws.P99Ms = s.cfg.LatencyBoundsMs[len(s.cfg.LatencyBoundsMs)-1]
+					}
+					break
+				}
+			}
+		}
+		out = append(out, ws)
+	}
+	return out
+}
+
+// MaxBurn returns the worst burn rate (availability or latency) across
+// windows no longer than horizon (0 = all windows). This is the
+// admission-control signal: a fast-window burn above the caller's
+// threshold means the budget is being spent right now.
+func (s *SLO) MaxBurn(horizon time.Duration) float64 {
+	max := 0.0
+	for _, ws := range s.Status() {
+		if horizon > 0 && ws.Window > horizon {
+			continue
+		}
+		if ws.AvailabilityBurn > max {
+			max = ws.AvailabilityBurn
+		}
+		if ws.LatencyBurn > max {
+			max = ws.LatencyBurn
+		}
+	}
+	return max
+}
+
+// WindowName renders a window for metric labels ("5s", "1m0s" is ugly,
+// so trailing zero units are trimmed).
+func WindowName(d time.Duration) string {
+	s := d.String()
+	s = trimSuffixIfLonger(s, "m0s")
+	s = trimSuffixIfLonger(s, "h0m")
+	return s
+}
+
+func trimSuffixIfLonger(s, suf string) string {
+	if len(s) > len(suf) && len(s) > 0 && s[len(s)-len(suf):] == suf {
+		return s[:len(s)-len(suf)+1]
+	}
+	return s
+}
+
+// String renders a compact one-line summary (used by /readyz).
+func (ws WindowStatus) String() string {
+	return fmt.Sprintf("%s: avail=%.4f burn=%.2f p99=%.2fms lburn=%.2f n=%d",
+		WindowName(ws.Window), ws.Availability, ws.AvailabilityBurn, ws.P99Ms, ws.LatencyBurn, ws.Requests)
+}

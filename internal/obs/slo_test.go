@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeClock is an injectable deterministic clock.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time               { return c.t }
+func (c *fakeClock) advance(d time.Duration)      { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock                    { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func newTestSLO(cfg SLOConfig) (*SLO, *fakeClock) { c := newFakeClock(); return NewSLO(cfg, c.now), c }
+
+func TestSLOAvailabilityBurn(t *testing.T) {
+	s, clock := newTestSLO(SLOConfig{
+		AvailabilityObjective: 0.99,
+		Windows:               []time.Duration{5 * time.Second, time.Minute},
+	})
+	// 100 requests, 5 errors → error rate 5% against a 1% budget: burn 5.
+	for i := 0; i < 100; i++ {
+		s.Observe(1, i%20 == 0)
+		if i%10 == 9 {
+			clock.advance(200 * time.Millisecond)
+		}
+	}
+	st := s.Status()
+	if st[0].Requests != 100 {
+		t.Fatalf("fast window saw %d requests, want 100", st[0].Requests)
+	}
+	if st[0].Availability != 0.95 {
+		t.Errorf("availability = %v, want 0.95", st[0].Availability)
+	}
+	if burn := st[0].AvailabilityBurn; burn < 4.99 || burn > 5.01 {
+		t.Errorf("availability burn = %v, want 5", burn)
+	}
+	if st[1].AvailabilityBurn != st[0].AvailabilityBurn {
+		t.Errorf("slow window should see the same burn over this history: %v vs %v",
+			st[1].AvailabilityBurn, st[0].AvailabilityBurn)
+	}
+}
+
+func TestSLOLatencyBurnAndP99(t *testing.T) {
+	s, _ := newTestSLO(SLOConfig{
+		LatencyObjective: 0.9,
+		LatencyBudgetMs:  10,
+		LatencyBoundsMs:  []float64{1, 10, 100},
+		Windows:          []time.Duration{5 * time.Second},
+	})
+	// 80 fast (1ms), 20 slow (50ms): 20% over a 10ms budget vs 10%
+	// allowance → burn 2; p99 falls in the 100ms bucket.
+	for i := 0; i < 80; i++ {
+		s.Observe(1, false)
+	}
+	for i := 0; i < 20; i++ {
+		s.Observe(50, false)
+	}
+	st := s.Status()[0]
+	if st.LatencyBurn < 1.99 || st.LatencyBurn > 2.01 {
+		t.Errorf("latency burn = %v, want 2", st.LatencyBurn)
+	}
+	if st.P99Ms != 100 {
+		t.Errorf("p99 estimate = %v, want 100 (bucket upper bound)", st.P99Ms)
+	}
+}
+
+// TestSLOWindowExpiry: observations age out of the fast window but stay
+// in the slow one.
+func TestSLOWindowExpiry(t *testing.T) {
+	s, clock := newTestSLO(SLOConfig{
+		AvailabilityObjective: 0.99,
+		Windows:               []time.Duration{5 * time.Second, time.Minute},
+	})
+	for i := 0; i < 50; i++ {
+		s.Observe(1, true) // all errors
+	}
+	clock.advance(10 * time.Second)
+	for i := 0; i < 50; i++ {
+		s.Observe(1, false) // all good
+	}
+	st := s.Status()
+	if st[0].Requests != 50 || st[0].AvailabilityBurn != 0 {
+		t.Errorf("fast window should only see the clean burst: %+v", st[0])
+	}
+	if st[1].Requests != 100 || st[1].AvailabilityBurn == 0 {
+		t.Errorf("slow window should still see the errors: %+v", st[1])
+	}
+	// After the slow window passes, everything is forgotten.
+	clock.advance(2 * time.Minute)
+	st = s.Status()
+	if st[1].Requests != 0 || st[1].Availability != 1 {
+		t.Errorf("slow window should be empty after expiry: %+v", st[1])
+	}
+}
+
+func TestSLOMaxBurnHorizon(t *testing.T) {
+	s, clock := newTestSLO(SLOConfig{
+		AvailabilityObjective: 0.99,
+		Windows:               []time.Duration{5 * time.Second, time.Minute},
+	})
+	for i := 0; i < 20; i++ {
+		s.Observe(1, true)
+	}
+	clock.advance(20 * time.Second)
+	for i := 0; i < 20; i++ {
+		s.Observe(1, false)
+	}
+	if got := s.MaxBurn(5 * time.Second); got != 0 {
+		t.Errorf("fast-horizon burn = %v, want 0 (errors aged out)", got)
+	}
+	if got := s.MaxBurn(0); got == 0 {
+		t.Errorf("all-window burn should still see the old errors")
+	}
+}
+
+// TestSLOShedsAreNotErrors pins the anti-feedback property: load
+// shedding must not count against availability, or tightening the queue
+// would read as more burn and tighten further.
+func TestSLOShedsAreNotErrors(t *testing.T) {
+	s, _ := newTestSLO(SLOConfig{AvailabilityObjective: 0.99})
+	for i := 0; i < 100; i++ {
+		s.Observe(0.5, false) // a shed is observed as a non-error
+	}
+	if st := s.Status()[0]; st.AvailabilityBurn != 0 {
+		t.Errorf("burn = %v, want 0", st.AvailabilityBurn)
+	}
+}
+
+func TestSLONilSafe(t *testing.T) {
+	var s *SLO
+	s.Observe(1, true)
+	if s.Status() != nil {
+		t.Error("nil SLO should report no windows")
+	}
+	if s.MaxBurn(0) != 0 {
+		t.Error("nil SLO should report zero burn")
+	}
+}
+
+func TestWindowName(t *testing.T) {
+	cases := map[time.Duration]string{
+		5 * time.Second:  "5s",
+		time.Minute:      "1m",
+		30 * time.Minute: "30m",
+		time.Hour:        "1h",
+	}
+	for in, want := range cases {
+		if got := WindowName(in); got != want {
+			t.Errorf("WindowName(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -26,32 +26,45 @@ import (
 // Sheds are answered 429 with a Retry-After hint; a request whose
 // context dies while queued is answered 504 (the deadline wrapper's
 // verdict, restated here so the queue path is correct even when the
-// wrapper is disabled).
+// wrapper is disabled). The queue bound is effectiveMaxQueue, not the
+// raw config: when the SLO engine reports the error budget burning, the
+// bound tightens so work the server cannot serve well is shed up front
+// (obs.go).
 func (s *Server) admit(next http.Handler) http.Handler {
 	if s.sem == nil {
 		return next
 	}
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		m := metaFrom(r.Context())
 		select {
 		case s.sem <- struct{}{}: // free slot, no queueing
 		default:
-			if s.queued.Add(1) > int64(s.cfg.MaxQueue) {
+			if s.queued.Add(1) > s.effectiveMaxQueue() {
 				s.queued.Add(-1)
-				s.shed(w)
+				s.shed(w, m)
 				return
 			}
+			wait := time.Now()
+			span := s.stageSpan(m, "admission-wait")
 			t := time.NewTimer(s.cfg.QueueTimeout)
 			select {
 			case s.sem <- struct{}{}:
 				t.Stop()
 				s.queued.Add(-1)
+				span.End()
+				m.setQueueWait(time.Since(wait))
 			case <-t.C:
 				s.queued.Add(-1)
-				s.shed(w)
+				span.End()
+				m.setQueueWait(time.Since(wait))
+				s.shed(w, m)
 				return
 			case <-r.Context().Done():
 				t.Stop()
 				s.queued.Add(-1)
+				span.End()
+				m.setQueueWait(time.Since(wait))
+				m.setCause("deadline")
 				s.expired.Inc()
 				s.writeJSON(w, http.StatusGatewayTimeout,
 					errorBody{"request deadline expired while queued for admission"})
@@ -62,6 +75,7 @@ func (s *Server) admit(next http.Handler) http.Handler {
 		if r.Context().Err() != nil {
 			// The deadline fired while we held a queue slot; the slot is
 			// free again but this request's budget is gone.
+			m.setCause("deadline")
 			s.expired.Inc()
 			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired before execution"})
 			return
@@ -72,7 +86,8 @@ func (s *Server) admit(next http.Handler) http.Handler {
 
 // shed answers one load-shed request: 429, a Retry-After hint, and the
 // shed counter — the overload contract geobench asserts on.
-func (s *Server) shed(w http.ResponseWriter) {
+func (s *Server) shed(w http.ResponseWriter, m *reqMeta) {
+	m.setCause("shed")
 	s.sheds.Inc()
 	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
 	if secs < 1 {
@@ -117,6 +132,7 @@ func (s *Server) withDeadline(next http.Handler) http.Handler {
 		case <-done:
 			bw.copyTo(w)
 		case <-ctx.Done():
+			metaFrom(r.Context()).setCause("deadline")
 			s.expired.Inc()
 			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired"})
 		}

@@ -257,7 +257,7 @@ func TestShedCountsTelemetry(t *testing.T) {
 	if got := srv.sheds.Value(); got != 1 {
 		t.Errorf("shed counter = %d, want 1", got)
 	}
-	if got := srv.statusCounter(429).Value(); got != 1 {
+	if got := srv.statusCounter(429, planeData).Value(); got != 1 {
 		t.Errorf("status ledger 429 = %d, want 1", got)
 	}
 }

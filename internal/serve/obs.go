@@ -1,0 +1,272 @@
+// The serving tier's observability plane (DESIGN.md §3.7): request
+// identity, structured access logs, stage spans, Prometheus exposition,
+// and the SLO burn-rate feedback into admission control.
+//
+// One middleware (observe) wraps the whole routing table. It assigns
+// every request an ID (adopted from X-Request-Id or a W3C traceparent
+// when the caller sent one), echoes it in the response header before any
+// handler runs — so even a 504 written while the handler is still stuck
+// carries it — and, when the request finishes, feeds one record each to
+// the status ledger, the SLO engine, and (sampled) the access log. The
+// ID is the join key: a client error report names it, exactly one access
+// log line carries it, and its trace spans embed it.
+//
+// GET /metrics renders the server's registry in Prometheus text format
+// from the control plane, outside admission — scraping an overloaded or
+// draining server must always work, that is when the numbers matter.
+package serve
+
+import (
+	"context"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"geoloc/internal/obs"
+	"geoloc/internal/telemetry"
+)
+
+// Response planes for the status ledger: data-plane answers are the ones
+// geobench's client ledger and the SLO engine account for; control-plane
+// answers (health, metrics, admin) are bookkept separately.
+const (
+	planeData    = "data"
+	planeControl = "control"
+)
+
+// planeOf classifies a request path for the ledger.
+func planeOf(path string) string {
+	if path == "/lookup" || path == "/batch" {
+		return planeData
+	}
+	return planeControl
+}
+
+// ctxKey is the private context-key namespace.
+type ctxKey int
+
+const metaKey ctxKey = iota
+
+// reqMeta is the per-request observability record, created by observe
+// and annotated by the admission and deadline middleware. The immutable
+// identity fields are written once before the handler starts; the
+// mutable ones take the mutex because the deadline wrapper runs the
+// handler chain in a separate goroutine that may still be writing after
+// the 504 has been served and observe is reading.
+type reqMeta struct {
+	id      string
+	adopted bool
+	traced  bool
+
+	mu        sync.Mutex
+	queueWait time.Duration
+	cause     string
+}
+
+// setQueueWait records how long the request waited for an admission
+// slot. Nil-safe (handlers can be driven without the observe wrapper in
+// tests).
+func (m *reqMeta) setQueueWait(d time.Duration) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	m.queueWait = d
+	m.mu.Unlock()
+}
+
+// setCause records why a request failed ("shed", "deadline"). First
+// write wins: the first cause is the one the client-visible response was
+// written for; later writes come from abandoned goroutines whose output
+// was discarded.
+func (m *reqMeta) setCause(c string) {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	if m.cause == "" {
+		m.cause = c
+	}
+	m.mu.Unlock()
+}
+
+// read returns the mutable fields consistently.
+func (m *reqMeta) read() (queueWait time.Duration, cause string) {
+	if m == nil {
+		return 0, ""
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.queueWait, m.cause
+}
+
+// metaFrom returns the request's observability record (nil when the
+// request did not pass through observe).
+func metaFrom(ctx context.Context) *reqMeta {
+	m, _ := ctx.Value(metaKey).(*reqMeta)
+	return m
+}
+
+// stageSpan starts a span for one request stage, named with the request
+// ID so the Chrome-trace export joins back to the access log. Returns
+// nil (a free no-op) unless the request was trace-sampled.
+func (s *Server) stageSpan(m *reqMeta, stage string) *telemetry.Span {
+	if m == nil || !m.traced {
+		return nil
+	}
+	return s.statusReg.StartSpan(telemetry.Name(stage, telemetry.Label{Key: "req", Value: m.id}))
+}
+
+// observe is the outermost middleware: request identity, the per-status
+// ledger, the SLO feed, and the sampled access log.
+func (s *Server) observe(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		id, adopted := obs.RequestID(r)
+		// Set on the real writer before anything runs: every response —
+		// including a 504 delivered while the handler is still stuck —
+		// carries the ID.
+		w.Header().Set(obs.RequestIDHeader, id)
+		meta := &reqMeta{id: id, adopted: adopted, traced: s.sampleTrace()}
+		r = r.WithContext(context.WithValue(r.Context(), metaKey, meta))
+
+		span := s.stageSpan(meta, "request")
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		span.End()
+
+		status := sw.Status()
+		plane := planeOf(r.URL.Path)
+		s.statusCounter(status, plane).Inc()
+
+		latencyMs := float64(time.Since(start)) / float64(time.Millisecond)
+		if plane == planeData && status != http.StatusTooManyRequests {
+			// Sheds are excluded from the SLO entirely: a 429 is the
+			// designed overload answer, not a service failure, and its
+			// sub-millisecond latency would dilute the window's p99.
+			s.slo.Observe(latencyMs, status >= 500)
+		}
+		s.accessLog(r, meta, status, plane, latencyMs)
+	})
+}
+
+// sampleTrace decides whether the next request records stage spans
+// (1-in-TraceSample; 0 disables tracing). Spans accumulate in the
+// registry for the life of the process, so tracing is an explicit,
+// sampled opt-in for diagnosis sessions, not an always-on default.
+func (s *Server) sampleTrace() bool {
+	n := s.cfg.TraceSample
+	return n > 0 && s.traceSeq.Add(1)%uint64(n) == 0
+}
+
+// accessLog emits the request's structured log record: always for
+// non-2xx answers (the contract is that every client-visible failure
+// appears in exactly one log line, joinable by request ID), 1-in-
+// LogSample for successes.
+func (s *Server) accessLog(r *http.Request, m *reqMeta, status int, plane string, latencyMs float64) {
+	lg := s.cfg.AccessLog
+	if lg == nil {
+		return
+	}
+	level := slog.LevelInfo
+	switch {
+	case status >= 500:
+		level = slog.LevelWarn
+	case status >= 400:
+		level = slog.LevelInfo
+	default:
+		if s.cfg.LogSample <= 0 || s.logSeq.Add(1)%uint64(s.cfg.LogSample) != 0 {
+			return
+		}
+	}
+	queueWait, cause := m.read()
+	attrs := []slog.Attr{
+		slog.String("id", m.id),
+		slog.Bool("id_adopted", m.adopted),
+		slog.String("method", r.Method),
+		slog.String("path", r.URL.Path),
+		slog.String("plane", plane),
+		slog.Int("status", status),
+		slog.Uint64("generation", s.swapper.Generation()),
+		slog.Float64("queue_wait_ms", float64(queueWait)/float64(time.Millisecond)),
+		slog.Float64("latency_ms", latencyMs),
+	}
+	if cause != "" {
+		attrs = append(attrs, slog.String("cause", cause))
+	}
+	lg.LogAttrs(context.Background(), level, "request", attrs...)
+}
+
+// handleMetrics serves GET /metrics: the whole registry in Prometheus
+// text format. Control plane — never queued, never shed, never behind
+// the deadline wrapper.
+func (s *Server) handleMetrics(w http.ResponseWriter, req *http.Request) {
+	if req.Method != http.MethodGet {
+		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use GET"})
+		return
+	}
+	s.publishSLOGauges()
+	w.Header().Set("Content-Type", obs.ContentType)
+	if err := obs.WritePrometheus(w, obs.LabeledRegistry{Label: s.cfg.MetricsLabel, Reg: s.statusReg}); err != nil {
+		s.writeErrs.Inc()
+	}
+}
+
+// publishSLOGauges refreshes the SLO window gauges from the engine.
+// Called on scrape rather than from a background ticker: the gauges are
+// only read through /metrics and /readyz, so computing them on demand
+// keeps the engine passive.
+func (s *Server) publishSLOGauges() {
+	s.effQueueGauge.Set(float64(s.effectiveMaxQueue()))
+	if s.slo == nil {
+		return
+	}
+	for _, ws := range s.slo.Status() {
+		wl := telemetry.Label{Key: "window", Value: obs.WindowName(ws.Window)}
+		s.statusReg.Gauge(telemetry.Name("geoserve.slo.availability", wl)).Set(ws.Availability)
+		s.statusReg.Gauge(telemetry.Name("geoserve.slo.availability_burn", wl)).Set(ws.AvailabilityBurn)
+		s.statusReg.Gauge(telemetry.Name("geoserve.slo.p99_ms", wl)).Set(ws.P99Ms)
+		s.statusReg.Gauge(telemetry.Name("geoserve.slo.latency_burn", wl)).Set(ws.LatencyBurn)
+		s.statusReg.Gauge(telemetry.Name("geoserve.slo.window_requests", wl)).Set(float64(ws.Requests))
+	}
+}
+
+// effectiveMaxQueue is the admission queue bound after SLO feedback:
+// while the fast-window burn rate is at or below BurnThreshold the
+// configured MaxQueue applies; above it the bound shrinks proportionally
+// (threshold/burn, floor 1), so a server that is failing or slow for
+// admitted requests stops queueing more work it cannot serve well and
+// sheds it immediately instead. Sheds themselves are invisible to the
+// SLO, so tightening converts would-be 504s into 429s without reading
+// its own effect back as further burn.
+//
+// The burn recomputation is throttled (burnEvery) because the bound is
+// consulted on every request that finds the inflight slots busy.
+func (s *Server) effectiveMaxQueue() int64 {
+	if s.slo == nil || s.cfg.BurnThreshold <= 0 {
+		return int64(s.cfg.MaxQueue)
+	}
+	now := time.Now().UnixNano()
+	last := s.burnLast.Load()
+	if now-last >= int64(s.burnEvery) && s.burnLast.CompareAndSwap(last, now) {
+		fast := s.slo.Config().Windows[0]
+		burn := s.slo.MaxBurn(fast)
+		eff := int64(s.cfg.MaxQueue)
+		if burn > s.cfg.BurnThreshold {
+			eff = int64(float64(eff) * s.cfg.BurnThreshold / burn)
+			if eff < 1 {
+				eff = 1
+			}
+		}
+		s.effQueue.Store(eff)
+		s.effQueueGauge.Set(float64(eff))
+	}
+	return s.effQueue.Load()
+}
+
+// SLOStatus returns the engine's window aggregates (nil when the SLO is
+// not configured). Exposed for /readyz and operator tooling.
+func (s *Server) SLOStatus() []obs.WindowStatus {
+	return s.slo.Status()
+}

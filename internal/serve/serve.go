@@ -29,7 +29,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -38,6 +40,7 @@ import (
 	"geoloc/internal/faults"
 	"geoloc/internal/ipaddr"
 	"geoloc/internal/ipindex"
+	"geoloc/internal/obs"
 	"geoloc/internal/telemetry"
 )
 
@@ -87,6 +90,29 @@ type Config struct {
 	// entirely (403): an unauthenticated reload is a denial-of-service
 	// primitive.
 	AdminToken string
+
+	// AccessLog receives one structured record per answered request —
+	// always for non-2xx, 1-in-LogSample for successes (nil = no access
+	// logs).
+	AccessLog *slog.Logger
+	// LogSample is the 1-in-N sampling rate for successful-request
+	// access logs (0 = log only non-2xx).
+	LogSample int
+	// TraceSample is the 1-in-N sampling rate for per-request stage
+	// spans (0 = no request tracing). Sampled spans accumulate in the
+	// registry, so this is a diagnosis knob, not an always-on default.
+	TraceSample int
+
+	// SLO configures the burn-rate engine over data-plane answers
+	// (nil = disabled).
+	SLO *obs.SLOConfig
+	// BurnThreshold is the fast-window burn rate above which the
+	// admission queue bound tightens (0 = SLO observes but never steers).
+	BurnThreshold float64
+
+	// MetricsLabel, when set, is attached to every /metrics sample as
+	// registry="<label>".
+	MetricsLabel string
 }
 
 // withDefaults resolves the zero-value conventions.
@@ -141,8 +167,23 @@ type Server struct {
 	latencyMs  *telemetry.Histogram
 
 	statusMu   sync.Mutex
-	statusCtrs map[int]*telemetry.Counter
+	statusCtrs map[statusKey]*telemetry.Counter
 	statusReg  *telemetry.Registry
+
+	// Observability plane (obs.go).
+	slo           *obs.SLO
+	logSeq        atomic.Uint64
+	traceSeq      atomic.Uint64
+	effQueue      atomic.Int64
+	burnLast      atomic.Int64
+	burnEvery     time.Duration // burn recompute throttle; tests zero it
+	effQueueGauge *telemetry.Gauge
+}
+
+// statusKey indexes the per-status, per-plane ledger.
+type statusKey struct {
+	code  int
+	plane string
 }
 
 // New wires a server with no artifact yet: /readyz answers 503 and the
@@ -169,12 +210,20 @@ func New(cfg Config, reg *telemetry.Registry) *Server {
 		writeErrs:  reg.Counter("geoserve.write_errors"),
 		latencyMs:  reg.Histogram("geoserve.latency_ms", latencyBoundsMs),
 
-		statusCtrs: make(map[int]*telemetry.Counter),
+		statusCtrs: make(map[statusKey]*telemetry.Counter),
 		statusReg:  reg,
+
+		burnEvery:     100 * time.Millisecond,
+		effQueueGauge: reg.Gauge("geoserve.effective_max_queue"),
 	}
 	if cfg.MaxInflight > 0 {
 		s.sem = make(chan struct{}, cfg.MaxInflight)
 	}
+	if cfg.SLO != nil {
+		s.slo = obs.NewSLO(*cfg.SLO, nil)
+	}
+	s.effQueue.Store(int64(cfg.MaxQueue))
+	s.effQueueGauge.Set(float64(cfg.MaxQueue))
 	return s
 }
 
@@ -210,9 +259,10 @@ func (s *Server) Draining() bool { return s.draining.Load() }
 
 // Handler returns the full middleware-wrapped routing table. Data-plane
 // endpoints (/lookup, /batch) sit behind the deadline and admission
-// middleware; control-plane endpoints bypass both so an operator can
-// always observe and steer an overloaded server. The status ledger wraps
-// everything.
+// middleware; control-plane endpoints (including /metrics) bypass both
+// so an operator can always observe and steer an overloaded server. The
+// observe middleware (request ID, status ledger, SLO feed, access log)
+// wraps everything.
 func (s *Server) Handler() http.Handler {
 	data := http.NewServeMux()
 	data.HandleFunc("/lookup", s.handleLookup)
@@ -225,28 +275,25 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/readyz", s.handleReadyz)
 	mux.HandleFunc("/version", s.handleVersion)
+	mux.HandleFunc("/metrics", s.handleMetrics)
 	mux.HandleFunc("/admin/reload", s.handleReload)
-	return s.ledger(mux)
+	return s.observe(mux)
 }
 
-// ledger counts every response by final status code under
-// geoserve.status.<code> — the per-status ledger geobench cross-checks
-// its client-side ledger against.
-func (s *Server) ledger(next http.Handler) http.Handler {
-	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		sw := &statusWriter{ResponseWriter: w}
-		next.ServeHTTP(sw, r)
-		s.statusCounter(sw.Status()).Inc()
-	})
-}
-
-func (s *Server) statusCounter(code int) *telemetry.Counter {
+// statusCounter returns the ledger counter for one (status, plane)
+// pair — geoserve.status{code=C,plane=P}, the per-status ledger geobench
+// cross-checks its client-side ledger against (data plane only; control
+// traffic like its own /metrics scrapes is bookkept separately).
+func (s *Server) statusCounter(code int, plane string) *telemetry.Counter {
 	s.statusMu.Lock()
 	defer s.statusMu.Unlock()
-	c, ok := s.statusCtrs[code]
+	k := statusKey{code: code, plane: plane}
+	c, ok := s.statusCtrs[k]
 	if !ok {
-		c = s.statusReg.Counter(fmt.Sprintf("geoserve.status.%d", code))
-		s.statusCtrs[code] = c
+		c = s.statusReg.Counter(telemetry.Name("geoserve.status",
+			telemetry.Label{Key: "code", Value: strconv.Itoa(code)},
+			telemetry.Label{Key: "plane", Value: plane}))
+		s.statusCtrs[k] = c
 	}
 	return c
 }
@@ -377,7 +424,12 @@ func (s *Server) handleLookup(w http.ResponseWriter, req *http.Request) {
 		s.writeJSON(w, http.StatusBadRequest, errorBody{err.Error()})
 		return
 	}
+	m := metaFrom(req.Context())
+	sp := s.stageSpan(m, "index-lookup")
 	res, kind := s.resolve(req.Context(), art, a)
+	sp.End()
+	enc := s.stageSpan(m, "encode")
+	defer enc.End()
 	switch kind {
 	case resolveDeadline:
 		s.writeJSON(w, http.StatusGatewayTimeout, res)
@@ -436,6 +488,8 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 			errorBody{fmt.Sprintf("batch of %d exceeds limit %d", len(in.IPs), s.cfg.MaxBatch)})
 		return
 	}
+	m := metaFrom(req.Context())
+	sp := s.stageSpan(m, "index-lookup")
 	out := batchResponse{Results: make([]LookupResult, 0, len(in.IPs))}
 	for _, raw := range in.IPs {
 		a, err := ipaddr.Parse(raw)
@@ -446,6 +500,7 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 		res, kind := s.resolve(req.Context(), art, a)
 		if kind == resolveDeadline {
+			sp.End()
 			// The budget for the whole batch is gone; the deadline
 			// wrapper already owns the client-visible 504.
 			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired mid-batch"})
@@ -453,6 +508,9 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 		}
 		out.Results = append(out.Results, res)
 	}
+	sp.End()
+	enc := s.stageSpan(m, "encode")
+	defer enc.End()
 	s.writeJSON(w, http.StatusOK, out)
 }
 
@@ -491,6 +549,15 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	s.writeJSON(w, http.StatusOK, body)
 }
 
+// readyzBody is the /readyz response. When the SLO engine is on, the
+// window aggregates ride along so an operator (or a probe with a burn
+// threshold) reads readiness and budget health in one request.
+type readyzBody struct {
+	Status            string             `json:"status"`
+	SLO               []obs.WindowStatus `json:"slo,omitempty"`
+	EffectiveMaxQueue int64              `json:"effective_max_queue,omitempty"`
+}
+
 // handleReadyz serves GET /readyz: readiness. 503 before the first
 // artifact and from the moment drain starts — the signal a load balancer
 // keys routing on.
@@ -501,9 +568,12 @@ func (s *Server) handleReadyz(w http.ResponseWriter, req *http.Request) {
 	case s.Current() == nil:
 		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
 	default:
-		s.writeJSON(w, http.StatusOK, struct {
-			Status string `json:"status"`
-		}{"ready"})
+		body := readyzBody{Status: "ready"}
+		if s.slo != nil {
+			body.SLO = s.slo.Status()
+			body.EffectiveMaxQueue = s.effectiveMaxQueue()
+		}
+		s.writeJSON(w, http.StatusOK, body)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
@@ -42,11 +43,18 @@ type CLI struct {
 	// MemProfile, when non-empty, writes a heap profile (after a final GC,
 	// so it shows live memory rather than collectable garbage) on Finish.
 	MemProfile string
+	// LogFormat selects the structured-log encoding: "text" (quiet,
+	// human-oriented, the default) or "json" (one record per line, for
+	// log pipelines).
+	LogFormat string
+	// LogLevel is the minimum level emitted: debug, info, warn, error.
+	LogLevel string
 
 	mu         sync.Mutex
 	regs       []labeledRegistry
 	done       bool
 	cpuProfile *os.File
+	logger     *slog.Logger
 }
 
 type labeledRegistry struct {
@@ -70,8 +78,60 @@ func NewCLI() *CLI {
 		"write a CPU profile of the run to this file (inspect with go tool pprof)")
 	flag.StringVar(&c.MemProfile, "memprofile", "",
 		"write an end-of-run heap profile to this file (inspect with go tool pprof)")
+	RegisterLogFlags(&c.LogFormat, &c.LogLevel)
 	c.Attach("pipeline", Default())
 	return c
+}
+
+// RegisterLogFlags registers the shared -log-format / -log-level pair on
+// flag.CommandLine. Exposed separately for binaries (geobench) that want
+// structured logging without the whole telemetry CLI.
+func RegisterLogFlags(format, level *string) {
+	flag.StringVar(format, "log-format", "text", "structured log encoding: text or json")
+	flag.StringVar(level, "log-level", "info", "minimum log level: debug, info, warn, error")
+}
+
+// Logger returns the logger the -log-format / -log-level flags asked
+// for, writing to stderr (stdout stays reserved for program output, so
+// golden-output tests are unaffected). Built once; call after
+// flag.Parse.
+func (c *CLI) Logger() *slog.Logger {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.logger == nil {
+		c.logger = NewLogger(os.Stderr, c.LogFormat, c.LogLevel)
+	}
+	return c.logger
+}
+
+// NewLogger builds a slog.Logger from the shared flag vocabulary.
+// Unknown values degrade to text/info with a note rather than failing
+// the program over a logging option.
+func NewLogger(w io.Writer, format, level string) *slog.Logger {
+	var lv slog.Level
+	switch level {
+	case "debug":
+		lv = slog.LevelDebug
+	case "info", "":
+		lv = slog.LevelInfo
+	case "warn":
+		lv = slog.LevelWarn
+	case "error":
+		lv = slog.LevelError
+	default:
+		fmt.Fprintf(os.Stderr, "telemetry: unknown -log-level %q, using info\n", level)
+		lv = slog.LevelInfo
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	switch format {
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, opts))
+	case "text", "":
+		return slog.New(slog.NewTextHandler(w, opts))
+	default:
+		fmt.Fprintf(os.Stderr, "telemetry: unknown -log-format %q, using text\n", format)
+		return slog.New(slog.NewTextHandler(w, opts))
+	}
 }
 
 // Active reports whether any telemetry flag was used.

@@ -157,18 +157,61 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 	return enc.Encode(r.Snapshot())
 }
 
-// expvarOnce guards the process-global expvar name (Publish panics on
+// expvarOnce guards the process-global expvar names (Publish panics on
 // duplicates).
 var expvarOnce sync.Once
 
-// PublishExpvar exposes live registry snapshots under the expvar key
-// "telemetry" (served at /debug/vars). The provider is invoked on every
-// scrape, so registries attached after publication are still reported.
-// Idempotent: only the first call's provider is published.
+// PublishExpvar exposes live registry snapshots at /debug/vars under two
+// keys: "telemetry" (the nested label → Snapshot map) and
+// "telemetry_metrics" (a flat map keyed by canonical identifiers — see
+// FlattenSnapshots — so metric names containing '/', '.' or an embedded
+// label block land on unambiguous, collision-free keys). The provider is
+// invoked on every scrape, so registries attached after publication are
+// still reported. Idempotent: only the first call's provider is
+// published.
 func PublishExpvar(provider func() map[string]Snapshot) {
 	expvarOnce.Do(func() {
 		expvar.Publish("telemetry", expvar.Func(func() any { return provider() }))
+		expvar.Publish("telemetry_metrics", expvar.Func(func() any {
+			return FlattenSnapshots(provider())
+		}))
 	})
+}
+
+// FlattenSnapshots renders labeled snapshots as one flat map keyed by
+// canonical identifiers: "<label>/<metric name>" run through
+// CanonicalKeys, so "camp/a.b" and "camp/a/b" (which canonicalize to
+// the same identifier) get deterministically distinct keys instead of
+// one silently overwriting the other. Histograms flatten to their count,
+// sum, and mean under _count/_sum/_mean suffix keys.
+func FlattenSnapshots(m map[string]Snapshot) map[string]any {
+	var names []string
+	vals := make(map[string]any)
+	put := func(full string, v any) {
+		names = append(names, full)
+		vals[full] = v
+	}
+	for label, snap := range m {
+		for _, c := range snap.Counters {
+			put(label+"/"+c.Name, c.Value)
+		}
+		for _, g := range snap.Gauges {
+			put(label+"/"+g.Name, g.Value)
+		}
+		for _, h := range snap.Histograms {
+			put(label+"/"+h.Name+"_count", h.Count)
+			put(label+"/"+h.Name+"_sum", h.Sum)
+			if h.Count > 0 {
+				put(label+"/"+h.Name+"_mean", h.Sum/float64(h.Count))
+			}
+		}
+	}
+	keys := CanonicalKeys(names)
+	out := make(map[string]any, len(vals))
+	for full, v := range vals {
+		out[keys[full]] = v
+	}
+	return out
 }
 
 // writeJSONIndent writes v as indented JSON.

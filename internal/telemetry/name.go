@@ -1,0 +1,150 @@
+// Metric naming: the registry's flat string keys carry an optional
+// embedded label set, and every exporter (Prometheus text, expvar, the
+// aligned dumps) derives its own canonical form from one shared parser
+// instead of inventing a private escaping scheme.
+//
+// The convention: a metric name is `base` or `base{k=v,k2=v2}`. The base
+// is dot/slash-namespaced free text ("geoserve.status"); labels are
+// comma-separated key=value pairs with raw (unquoted, unescaped) values.
+// Values may not contain '{', '}', ',' or '='; producers that need those
+// characters must sanitize first. The registry itself treats the whole
+// string as an opaque key — two names differing only in label order are
+// two metrics — so producers must format labels in one fixed order.
+package telemetry
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Label is one key=value pair embedded in a metric name.
+type Label struct {
+	Key   string
+	Value string
+}
+
+// Name formats a metric name with embedded labels in the order given.
+// Callers must pass labels in a fixed order (the registry keys on the
+// formatted string).
+func Name(base string, labels ...Label) string {
+	if len(labels) == 0 {
+		return base
+	}
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteByte('=')
+		b.WriteString(l.Value)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// ParseName splits a registry metric name into its base and embedded
+// labels. Names without a label block come back with nil labels. A
+// malformed label block (no closing brace, empty key, missing '=') is
+// not an error — the whole string is returned as the base, so a weird
+// name degrades to an oddly-named metric instead of a dropped one.
+func ParseName(name string) (base string, labels []Label) {
+	open := strings.IndexByte(name, '{')
+	if open < 0 || !strings.HasSuffix(name, "}") {
+		return name, nil
+	}
+	body := name[open+1 : len(name)-1]
+	if body == "" {
+		return name[:open], nil
+	}
+	parts := strings.Split(body, ",")
+	labels = make([]Label, 0, len(parts))
+	for _, p := range parts {
+		eq := strings.IndexByte(p, '=')
+		if eq <= 0 {
+			return name, nil // malformed: treat verbatim
+		}
+		labels = append(labels, Label{Key: p[:eq], Value: p[eq+1:]})
+	}
+	return name[:open], labels
+}
+
+// CanonicalKey flattens a metric name into an identifier-safe key:
+// every run of characters outside [a-zA-Z0-9_] becomes one '_', and
+// label pairs are appended as _key_value segments. "geoserve.status
+// {code=200}" and "geoserve/status{code=200}" both canonicalize to
+// "geoserve_status_code_200" — canonicalization is deliberately lossy,
+// and CanonicalKeys resolves the resulting collisions deterministically.
+func CanonicalKey(name string) string {
+	base, labels := ParseName(name)
+	var b strings.Builder
+	writeCanonicalSegment(&b, base)
+	for _, l := range labels {
+		b.WriteByte('_')
+		writeCanonicalSegment(&b, l.Key)
+		b.WriteByte('_')
+		writeCanonicalSegment(&b, l.Value)
+	}
+	return b.String()
+}
+
+// writeCanonicalSegment appends s with every invalid run collapsed to
+// one '_' and leading/trailing separators trimmed.
+func writeCanonicalSegment(b *strings.Builder, s string) {
+	pendingSep := false
+	wrote := false
+	for _, r := range s {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')
+		if !ok {
+			pendingSep = wrote
+			continue
+		}
+		if pendingSep {
+			b.WriteByte('_')
+			pendingSep = false
+		}
+		b.WriteRune(r)
+		wrote = true
+	}
+}
+
+// CanonicalKeys maps every input name to a unique canonical key.
+// Collisions — distinct names whose CanonicalKey agree, e.g. "a.b" and
+// "a/b" — are resolved deterministically: names are processed in sorted
+// order, the first keeps the plain key and every later one gets a
+// "_<hash>" suffix derived from its original spelling, so a given name
+// always lands on the same key regardless of registration order.
+func CanonicalKeys(names []string) map[string]string {
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	taken := make(map[string]bool, len(sorted))
+	out := make(map[string]string, len(sorted))
+	for _, name := range sorted {
+		if _, dup := out[name]; dup {
+			continue
+		}
+		key := CanonicalKey(name)
+		if key == "" {
+			key = "_"
+		}
+		if taken[key] {
+			key = fmt.Sprintf("%s_%08x", key, stringHash(name))
+		}
+		taken[key] = true
+		out[name] = key
+	}
+	return out
+}
+
+// stringHash is FNV-1a, inlined to keep the package dependency-free.
+func stringHash(s string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(s); i++ {
+		h ^= uint32(s[i])
+		h *= 16777619
+	}
+	return h
+}
