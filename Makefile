@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke load-smoke
+.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke load-smoke chaos-smoke
 
 all: build
 
@@ -114,6 +114,45 @@ load-smoke:
 		-expect-shed -allow-503 -max-p999-ms 5000 \
 		-strict -out .load-smoke/overload.json
 	rm -rf .load-smoke
+
+# Replica-chaos proof of the routed fleet (DESIGN.md §3.8): geoserve
+# -router runs a 4-replica fleet behind the prefix-sharded router and
+# geobench -chaos kills the HOT replica (the one owning the artifact's
+# range) mid-run through /admin/replica, then revives it. Run 1
+# (replication 2, hedging on) requires the crash to be fully absorbed:
+# zero dropped requests, zero 503s, at least one failed-over or
+# hedge-won answer, and — via -metrics-check — the router's
+# georouter_failovers/hedge_wins counters moving by EXACTLY the sums the
+# client saw in its response headers. Run 2 (replication 1) proves the
+# bounded failure domain: the outage degrades ONLY the victim's prefix
+# range, as fast 503s with Retry-After confined to the kill→readmission
+# window — never a hang, never a drop.
+chaos-smoke:
+	rm -rf .chaos-smoke && mkdir -p .chaos-smoke
+	$(GO) build -o .chaos-smoke/geoserve ./cmd/geoserve
+	$(GO) build -o .chaos-smoke/geobench ./cmd/geobench
+	./.chaos-smoke/geoserve -scale tiny -unsanitized -write .chaos-smoke/a.geodset
+	set -e; \
+	./.chaos-smoke/geoserve -dataset .chaos-smoke/a.geodset -addr 127.0.0.1:18090 \
+		-router -replicas 4 -replication 2 -hedge -probe-interval 50ms \
+		-admin-token smoke -log-level warn & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./.chaos-smoke/geobench -addr http://127.0.0.1:18090 \
+		-dataset .chaos-smoke/a.geodset -wait-ready 15s \
+		-requests 4000 -workers 8 \
+		-chaos -kill-after 1000 -restart-after 2200 -admin-token smoke \
+		-expect-failover -metrics-check -strict -out .chaos-smoke/failover.json
+	set -e; \
+	./.chaos-smoke/geoserve -dataset .chaos-smoke/a.geodset -addr 127.0.0.1:18091 \
+		-router -replicas 4 -replication 1 -probe-interval 50ms \
+		-admin-token smoke -log-level warn & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./.chaos-smoke/geobench -addr http://127.0.0.1:18091 \
+		-dataset .chaos-smoke/a.geodset -wait-ready 15s \
+		-requests 4000 -workers 8 \
+		-chaos -kill-after 1000 -restart-after 2200 -admin-token smoke \
+		-expect-503 -metrics-check -strict -out .chaos-smoke/degraded.json
+	rm -rf .chaos-smoke
 
 # Short coverage-guided fuzz of the binary decoders — the checkpoint
 # journal and the dataset artifact (their seed corpora also run as plain

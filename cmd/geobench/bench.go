@@ -95,6 +95,29 @@ type Config struct {
 	// client-side ledger (metrics.go). Any discrepancy, malformed
 	// exposition, or missing swap-counter increment is a violation.
 	MetricsCheck bool
+
+	// Chaos turns on the replica-chaos proof (chaos.go): the target is a
+	// geoserve -router fleet, one replica is killed after KillAfter
+	// completed requests and revived after RestartAfter, and the verdict
+	// additionally requires: zero dropped requests throughout, every 503
+	// confined to the outage window and carrying Retry-After, and (with
+	// MetricsCheck) the router's failover/hedge counters matching the
+	// client-observed X-Router-* headers exactly.
+	Chaos bool
+	// KillAfter/RestartAfter are completed-request thresholds for the
+	// kill and revival (defaults Requests/4 and Requests/2).
+	KillAfter, RestartAfter int
+	// ChaosReplica picks the victim; negative selects the replica whose
+	// prefix range owns the baseline artifact's record space (the hot
+	// one — killing an idle replica proves nothing).
+	ChaosReplica int
+	// ExpectFailover fails a chaos run in which no answer was failed
+	// over or hedge-won (the outage was never actually absorbed).
+	ExpectFailover bool
+	// Expect503 fails a chaos run with no 503 at all (the degraded
+	// window was never actually exercised — replication soaked it up or
+	// the kill missed the hot range).
+	Expect503 bool
 }
 
 // Report is the run verdict, written as JSON and summarized on stdout.
@@ -133,6 +156,18 @@ type Report struct {
 	MetricsChecked bool           `json:"metrics_checked,omitempty"`
 	ServerStatuses map[string]int `json:"server_statuses,omitempty"`
 	MissingIDs     int            `json:"missing_request_ids,omitempty"`
+
+	// Chaos-proof verdict (chaos.go): the victim replica, the outage
+	// window in run-relative seconds, and both sides of the failover
+	// accounting — client-observed header sums vs router counter deltas.
+	ChaosPerformed  bool    `json:"chaos_performed,omitempty"`
+	ChaosReplica    int     `json:"chaos_replica,omitempty"`
+	KillAtSec       float64 `json:"kill_at_sec,omitempty"`
+	ReadmitAtSec    float64 `json:"readmit_at_sec,omitempty"`
+	ClientFailovers int     `json:"client_failovers,omitempty"`
+	ClientHedgeWins int     `json:"client_hedge_wins,omitempty"`
+	ServerFailovers int64   `json:"server_failovers,omitempty"`
+	ServerHedgeWins int64   `json:"server_hedge_wins,omitempty"`
 
 	// Violations is empty on a clean run; -strict turns any entry into a
 	// non-zero exit.
@@ -262,6 +297,15 @@ type sample struct {
 	swapGen uint64 // set on the request that performed the swap
 	// noID marks a 4xx/5xx answer missing the X-Request-Id header.
 	noID bool
+
+	// Chaos-proof fields: when the request started and finished relative
+	// to run start (for the outage-window check), the router's failover
+	// count and hedge verdict from the X-Router-* headers, and whether a
+	// 503 arrived without its Retry-After hint.
+	t0Ns, t1Ns   int64
+	failovers    int
+	hedgeWon     bool
+	noRetryAfter bool
 }
 
 // versionInfo mirrors geoserve's /version document.
@@ -319,8 +363,21 @@ func Run(cfg Config) (*Report, error) {
 	var beforeLedger map[string]int64
 	var beforeSwaps int64
 	if cfg.MetricsCheck {
-		if beforeLedger, beforeSwaps, err = scrapeLedger(client, cfg.BaseURL); err != nil {
+		if beforeLedger, beforeSwaps, err = scrapeLedger(client, cfg.BaseURL, statusMetric(cfg)); err != nil {
 			return nil, fmt.Errorf("metrics scrape before run: %w", err)
+		}
+	}
+
+	var ch *chaosRun
+	var beforeRouter routerCounters
+	if cfg.Chaos {
+		if ch, err = newChaosRun(cfg, client, ds); err != nil {
+			return nil, err
+		}
+		if cfg.MetricsCheck {
+			if beforeRouter, err = scrapeRouterCounters(client, cfg.BaseURL); err != nil {
+				return nil, fmt.Errorf("router counter scrape before run: %w", err)
+			}
 		}
 	}
 
@@ -331,6 +388,9 @@ func Run(cfg Config) (*Report, error) {
 	var swapGen atomic.Uint64
 
 	start := time.Now()
+	if ch != nil {
+		ch.start = start
+	}
 	var wg sync.WaitGroup
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -341,8 +401,11 @@ func Run(cfg Config) (*Report, error) {
 				if i >= cfg.Requests {
 					return
 				}
-				samples[i] = doRequest(client, cfg.BaseURL, mix, i)
+				samples[i] = doRequest(client, cfg.BaseURL, mix, i, start)
 				done := completed.Add(1)
+				if ch != nil {
+					ch.maybeTrigger(done)
+				}
 				if cfg.SwapAfter > 0 && cfg.SwapTo != "" && done >= int64(cfg.SwapAfter) {
 					swapOnce.Do(func() {
 						gen, err := doSwap(client, cfg)
@@ -383,6 +446,12 @@ func Run(cfg Config) (*Report, error) {
 			rep.SwapPerformed = true
 		}
 	}
+	if ch != nil {
+		ch.finish(rep, samples)
+		if cfg.MetricsCheck {
+			checkRouterCounters(client, cfg, rep, beforeRouter)
+		}
+	}
 	if cfg.MetricsCheck {
 		checkMetrics(client, cfg, rep, beforeLedger, beforeSwaps)
 	}
@@ -390,11 +459,12 @@ func Run(cfg Config) (*Report, error) {
 }
 
 // doRequest fires request i and records its outcome.
-func doRequest(client *http.Client, base string, mix *mixer, i int) sample {
+func doRequest(client *http.Client, base string, mix *mixer, i int, runStart time.Time) sample {
 	s := sample{class: mix.class(i)}
 	var resp *http.Response
 	var err error
 	start := time.Now()
+	s.t0Ns = start.Sub(runStart).Nanoseconds()
 	switch s.class {
 	case classBatch:
 		resp, err = client.Post(base+"/batch", "application/json", bytes.NewReader(mix.batchBody(i)))
@@ -406,6 +476,7 @@ func doRequest(client *http.Client, base string, mix *mixer, i int) sample {
 		resp, err = client.Get(base + "/lookup?ip=" + url.QueryEscape(mix.garbage(i)))
 	}
 	s.ms = float64(time.Since(start)) / float64(time.Millisecond)
+	s.t1Ns = time.Since(runStart).Nanoseconds()
 	if err != nil {
 		return s // status 0 = dropped
 	}
@@ -415,6 +486,12 @@ func doRequest(client *http.Client, base string, mix *mixer, i int) sample {
 	// Every failure answer must carry the ID that joins it to exactly
 	// one server access-log record.
 	s.noID = s.status >= 400 && resp.Header.Get("X-Request-Id") == ""
+	// Router verdict headers, the client half of the chaos accounting.
+	if v := resp.Header.Get("X-Router-Failovers"); v != "" {
+		s.failovers, _ = strconv.Atoi(v)
+	}
+	s.hedgeWon = resp.Header.Get("X-Router-Hedge") == "won"
+	s.noRetryAfter = s.status == http.StatusServiceUnavailable && resp.Header.Get("Retry-After") == ""
 	return s
 }
 
@@ -464,9 +541,12 @@ func tally(cfg Config, rep *Report, samples []sample) {
 				rep.GarbageViolations++
 			}
 		default:
+			// In chaos mode a 503 is the DESIGNED degraded answer for the
+			// victim's range; whether it stayed inside the outage window
+			// is checked separately (chaos.go).
 			ok := s.status == http.StatusOK || s.status == http.StatusNotFound ||
 				s.status == http.StatusTooManyRequests ||
-				(cfg.Allow503 && s.status == http.StatusServiceUnavailable)
+				((cfg.Allow503 || cfg.Chaos) && s.status == http.StatusServiceUnavailable)
 			if !ok {
 				rep.ValidViolations++
 			}

@@ -53,6 +53,13 @@ func main() {
 	flag.Float64Var(&cfg.MaxP999Ms, "max-p999-ms", 0, "fail the run if admitted p999 latency exceeds this bound (0 = no bound)")
 	flag.BoolVar(&cfg.Allow503, "allow-503", false, "admit 503 as a designed answer (fault-injecting profiles)")
 	flag.BoolVar(&cfg.MetricsCheck, "metrics-check", false, "scrape /metrics before and after and require the server ledger to match the client ledger exactly")
+	flag.BoolVar(&cfg.Chaos, "chaos", false,
+		"replica-chaos proof against a geoserve -router fleet: kill and revive a replica mid-run, require zero drops, window-confined 503s, and exact failover accounting")
+	flag.IntVar(&cfg.KillAfter, "kill-after", 0, "completed requests before the chaos kill (0 = requests/4)")
+	flag.IntVar(&cfg.RestartAfter, "restart-after", 0, "completed requests before the chaos revival (0 = requests/2)")
+	flag.IntVar(&cfg.ChaosReplica, "chaos-replica", -1, "replica to kill (negative = the hot replica owning the baseline artifact's range)")
+	flag.BoolVar(&cfg.ExpectFailover, "expect-failover", false, "fail the chaos run if no answer was failed over or hedge-won")
+	flag.BoolVar(&cfg.Expect503, "expect-503", false, "fail the chaos run if the outage produced no in-window 503 (degraded path never exercised)")
 	outPath := flag.String("out", "", "write the JSON report here")
 	strict := flag.Bool("strict", false, "exit non-zero when the run has any violation")
 	var logFormat, logLevel string
@@ -125,6 +132,11 @@ func printSummary(rep *Report) {
 	}
 	if rep.MetricsChecked {
 		fmt.Println("  metrics: server data-plane ledger matches client ledger exactly")
+	}
+	if rep.ChaosPerformed {
+		fmt.Printf("  chaos: replica %d killed at %.2fs, re-admitted at %.2fs; failovers=%d hedge-wins=%d 503s=%d\n",
+			rep.ChaosReplica, rep.KillAtSec, rep.ReadmitAtSec,
+			rep.ClientFailovers, rep.ClientHedgeWins, rep.Statuses["503"])
 	}
 	if len(rep.Violations) == 0 {
 		fmt.Println("  verdict: CLEAN")

@@ -12,6 +12,7 @@ import (
 	"geoloc/internal/core"
 	"geoloc/internal/dataset"
 	"geoloc/internal/faults"
+	"geoloc/internal/router"
 	"geoloc/internal/serve"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
@@ -301,5 +302,138 @@ func TestPercentile(t *testing.T) {
 		if got := percentile(s, c.q); got != c.want {
 			t.Errorf("percentile(%v) = %f, want %f", c.q, got, c.want)
 		}
+	}
+}
+
+// chaosHarness stands up a LocalFleet behind a router and writes the
+// tiny artifact to disk — the in-process version of the CI chaos-smoke
+// topology.
+func chaosHarness(t *testing.T, n int, rcfg router.Config) (baseURL, path string) {
+	t.Helper()
+	ds, _ := tinyArtifacts()
+	dir := t.TempDir()
+	path = filepath.Join(dir, "a.geodset")
+	if err := ds.Write(path); err != nil {
+		t.Fatal(err)
+	}
+	fleet, err := router.NewLocalFleet(n, ds, "test:tiny", serve.Config{})
+	if err != nil {
+		t.Fatalf("NewLocalFleet: %v", err)
+	}
+	t.Cleanup(fleet.Close)
+	rcfg.ReplicaURLs = fleet.Addrs()
+	rcfg.Controller = fleet
+	rcfg.AdminToken = "tok"
+	rcfg.Seed = ds.Hdr.Seed
+	if rcfg.ProbeInterval == 0 {
+		rcfg.ProbeInterval = 10 * time.Millisecond
+	}
+	if rcfg.UpstreamTimeout == 0 {
+		rcfg.UpstreamTimeout = 2 * time.Second
+	}
+	rt, err := router.New(rcfg, telemetry.New())
+	if err != nil {
+		t.Fatalf("router.New: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return ts.URL, path
+}
+
+// TestRunChaosFailover is the in-process replica-chaos proof with a
+// replicated fleet: killing the hot replica mid-run must be fully
+// absorbed — zero drops, zero 503s, at least one failed-over answer —
+// and the router's failover counters must move by exactly what the
+// client's response headers say.
+func TestRunChaosFailover(t *testing.T) {
+	base, path := chaosHarness(t, 4, router.Config{Replication: 2})
+	rep, err := Run(Config{
+		BaseURL:     base,
+		DatasetPath: path,
+		Requests:    400,
+		Workers:     6,
+		Seed:        4,
+		HitFrac:     0.7, MissFrac: 0.2, GarbageFrac: 0.1,
+		BatchEvery: 10, BatchSize: 4,
+		AdminToken:     "tok",
+		Timeout:        15 * time.Second,
+		WaitReady:      5 * time.Second,
+		Chaos:          true,
+		KillAfter:      100,
+		RestartAfter:   220,
+		ExpectFailover: true,
+		MetricsCheck:   true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v (statuses %v)", rep.Violations, rep.Statuses)
+	}
+	if !rep.ChaosPerformed {
+		t.Fatal("chaos schedule did not complete")
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0: the router must absorb the crash", rep.Dropped)
+	}
+	if rep.ClientFailovers == 0 && rep.ClientHedgeWins == 0 {
+		t.Fatal("no answer was failed over — the kill was not absorbed by failover")
+	}
+	if rep.ServerFailovers != int64(rep.ClientFailovers) {
+		t.Fatalf("failover accounting: client %d, server %d", rep.ClientFailovers, rep.ServerFailovers)
+	}
+	if rep.Statuses["503"] != 0 {
+		t.Fatalf("replication 2 must absorb a single crash without 503s, got %d", rep.Statuses["503"])
+	}
+	if !rep.MetricsChecked {
+		t.Fatal("router data-plane ledger did not match the client ledger")
+	}
+	if rep.KillAtSec <= 0 || rep.ReadmitAtSec <= rep.KillAtSec {
+		t.Fatalf("outage window looks wrong: kill %.3fs, readmit %.3fs", rep.KillAtSec, rep.ReadmitAtSec)
+	}
+}
+
+// TestRunChaosBoundedFailureDomain is the replication=1 half of the
+// proof: with no secondary, killing the hot replica must degrade ONLY
+// its prefix range — fast 503s with Retry-After, confined to the outage
+// window, with one range_unavailable increment each — and never a drop.
+func TestRunChaosBoundedFailureDomain(t *testing.T) {
+	base, path := chaosHarness(t, 4, router.Config{Replication: 1})
+	rep, err := Run(Config{
+		BaseURL:     base,
+		DatasetPath: path,
+		Requests:    400,
+		Workers:     6,
+		Seed:        5,
+		HitFrac:     0.7, MissFrac: 0.2, GarbageFrac: 0.1,
+		BatchEvery: 10, BatchSize: 4,
+		AdminToken:   "tok",
+		Timeout:      15 * time.Second,
+		WaitReady:    5 * time.Second,
+		Chaos:        true,
+		KillAfter:    100,
+		RestartAfter: 220,
+		Expect503:    true,
+		MetricsCheck: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Violations) != 0 {
+		t.Fatalf("violations: %v (statuses %v)", rep.Violations, rep.Statuses)
+	}
+	if !rep.ChaosPerformed {
+		t.Fatal("chaos schedule did not complete")
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("dropped = %d, want 0 even with an uncovered range", rep.Dropped)
+	}
+	if rep.Statuses["503"] == 0 {
+		t.Fatal("hot-range kill with replication 1 produced no 503: the degraded path never fired")
+	}
+	if !rep.MetricsChecked {
+		t.Fatal("router data-plane ledger did not match the client ledger")
 	}
 }

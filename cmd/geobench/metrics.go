@@ -26,9 +26,20 @@ import (
 // server ledger to catch up with responses already delivered.
 const metricsSettle = 2 * time.Second
 
+// statusMetric names the data-plane ledger metric for the tier under
+// test: geoserve's own when load-testing a single server, the router's
+// when running the chaos proof against a fleet.
+func statusMetric(cfg Config) string {
+	if cfg.Chaos {
+		return "georouter_status_total"
+	}
+	return "geoserve_status_total"
+}
+
 // scrapeLedger fetches and lint-parses /metrics, returning the
-// data-plane status ledger (code → count) and the swap counter.
-func scrapeLedger(client *http.Client, base string) (map[string]int64, int64, error) {
+// data-plane status ledger (code → count) under the given metric name
+// and the swap counter.
+func scrapeLedger(client *http.Client, base, metric string) (map[string]int64, int64, error) {
 	resp, err := client.Get(base + "/metrics")
 	if err != nil {
 		return nil, 0, err
@@ -42,7 +53,7 @@ func scrapeLedger(client *http.Client, base string) (map[string]int64, int64, er
 		return nil, 0, fmt.Errorf("malformed exposition: %w", err)
 	}
 	ledger := map[string]int64{}
-	for _, s := range sc.Find("geoserve_status_total", map[string]string{"plane": "data"}) {
+	for _, s := range sc.Find(metric, map[string]string{"plane": "data"}) {
 		ledger[s.Labels["code"]] += int64(s.Value)
 	}
 	var swaps int64
@@ -110,7 +121,7 @@ func checkMetrics(client *http.Client, cfg Config, rep *Report, beforeLedger map
 	deadline := time.Now().Add(metricsSettle)
 	var mismatches []string
 	for {
-		afterLedger, afterSwaps, err := scrapeLedger(client, cfg.BaseURL)
+		afterLedger, afterSwaps, err := scrapeLedger(client, cfg.BaseURL, statusMetric(cfg))
 		if err != nil {
 			rep.Violations = append(rep.Violations, fmt.Sprintf("metrics scrape after run: %v", err))
 			return

@@ -12,6 +12,11 @@
 // — /readyz flips to 503, in-flight requests finish, then the listener
 // closes.
 //
+// With -router, geoserve instead runs an in-process fleet of -replicas
+// servers behind the prefix-sharded router (internal/router): lookups
+// shard by IP range, dead replicas fail over or degrade only their own
+// range, and -hedge races slow primaries against their fallback.
+//
 //	geoserve -scale tiny -write dataset.bin
 //	geoserve -dataset dataset.bin -addr :8080 -admin-token s3cret -metrics
 //	curl 'localhost:8080/lookup?ip=10.0.0.7'
@@ -36,6 +41,7 @@ import (
 	"geoloc/internal/dataset"
 	"geoloc/internal/faults"
 	"geoloc/internal/obs"
+	"geoloc/internal/router"
 	"geoloc/internal/serve"
 	"geoloc/internal/telemetry"
 	"geoloc/internal/world"
@@ -65,6 +71,18 @@ type options struct {
 	readHeaderTimeout time.Duration
 	writeTimeout      time.Duration
 	idleTimeout       time.Duration
+
+	routerMode    bool
+	replicas      int
+	replication   int
+	hedge         bool
+	hedgeMin      time.Duration
+	hedgeMax      time.Duration
+	probeInterval time.Duration
+	probeTimeout  time.Duration
+	downAfter     int
+	upAfter       int
+	upstreamTmo   time.Duration
 
 	logSample        int
 	traceSample      int
@@ -114,6 +132,25 @@ func main() {
 		"http.Server WriteTimeout")
 	flag.DurationVar(&o.idleTimeout, "idle-timeout", 120*time.Second,
 		"http.Server IdleTimeout for keep-alive connections")
+
+	flag.BoolVar(&o.routerMode, "router", false,
+		"serve through the replicated front tier: an in-process fleet of -replicas servers behind a prefix-sharded router")
+	flag.IntVar(&o.replicas, "replicas", 4, "replica count for -router mode")
+	flag.IntVar(&o.replication, "replication", router.DefaultReplication,
+		"replicas that may answer for each prefix range (1 disables failover)")
+	flag.BoolVar(&o.hedge, "hedge", false,
+		"hedge slow lookups: duplicate to the fallback after the primary's p99 and take the first answer")
+	flag.DurationVar(&o.hedgeMin, "hedge-min", router.DefaultHedgeMin, "lower clamp on the hedge delay")
+	flag.DurationVar(&o.hedgeMax, "hedge-max", router.DefaultHedgeMax, "upper clamp on the hedge delay")
+	flag.DurationVar(&o.probeInterval, "probe-interval", router.DefaultProbeInterval,
+		"interval between active /readyz probes of each replica")
+	flag.DurationVar(&o.probeTimeout, "probe-timeout", router.DefaultProbeTimeout, "budget for one probe")
+	flag.IntVar(&o.downAfter, "down-after", router.DefaultDownAfter,
+		"consecutive failures (passive or probe) that mark a replica down")
+	flag.IntVar(&o.upAfter, "up-after", router.DefaultUpAfter,
+		"consecutive probe successes that re-admit a down replica")
+	flag.DurationVar(&o.upstreamTmo, "upstream-timeout", router.DefaultUpstreamTimeout,
+		"budget for one router attempt against one replica")
 
 	flag.IntVar(&o.logSample, "log-sample", 0,
 		"log 1 in N successful requests to the access log (0 = errors only)")
@@ -174,6 +211,14 @@ func run(o options) error {
 		return nil
 	}
 
+	source := o.dsPath
+	if source == "" {
+		source = "compiled:" + o.scale
+	}
+	if o.routerMode {
+		return runRouter(o, prof, ds, source)
+	}
+
 	srv := serve.New(serve.Config{
 		Prof:           prof,
 		CacheSize:      o.cacheSize,
@@ -196,10 +241,6 @@ func run(o options) error {
 		BurnThreshold: o.sloBurnThreshold,
 		MetricsLabel:  "geoserve",
 	}, o.reg)
-	source := o.dsPath
-	if source == "" {
-		source = "compiled:" + o.scale
-	}
 	srv.Publish(ds, source)
 
 	httpSrv := &http.Server{

@@ -338,7 +338,11 @@ func (c *Campaign) runPhase(
 			continue
 		}
 		if ctx.Err() != nil || hard.Err() != nil {
+			// Workers also set Interrupted (under mu) while still draining
+			// the channel, so this write needs the same lock.
+			mu.Lock()
 			res.Interrupted = true
+			mu.Unlock()
 			break
 		}
 		next <- vp

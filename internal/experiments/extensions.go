@@ -71,14 +71,12 @@ func MultiStep(ctx *Context) *Report {
 	for _, rounds := range []int{2, 3, 4} {
 		errs := make([]float64, len(c.Targets))
 		pings := make([]int64, len(c.Targets))
-		apiRounds := 0
+		roundsUsed := make([]int, len(c.Targets))
 		parallelFor(len(c.Targets), func(ti int) {
 			errs[ti] = math.NaN()
 			res, ok := vpsel.MultiStepSelect(c.RepRTT, meta, firstStep, ti, rounds, 100)
 			pings[ti] = res.Pings
-			if res.Rounds > apiRounds {
-				apiRounds = res.Rounds
-			}
+			roundsUsed[ti] = res.Rounds
 			if !ok {
 				return
 			}
@@ -93,6 +91,14 @@ func MultiStep(ctx *Context) *Report {
 		var total int64
 		for _, p := range pings {
 			total += p
+		}
+		// Index-addressed writes above, ordered reduction here — the par
+		// determinism contract (a shared racy max would tear under -race).
+		apiRounds := 0
+		for _, r := range roundsUsed {
+			if r > apiRounds {
+				apiRounds = r
+			}
 		}
 		rep.Rows = append(rep.Rows, []string{
 			fmt.Sprintf("%d", rounds),

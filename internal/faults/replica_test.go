@@ -1,0 +1,120 @@
+package faults
+
+import (
+	"math"
+	"testing"
+)
+
+// TestReplicaCrashDeterministic pins the rhash-keyed draw: the same
+// (seed, replica, epoch) always crashes or always survives, and the
+// empirical crash rate tracks the configured probability.
+func TestReplicaCrashDeterministic(t *testing.T) {
+	p := &Profile{ReplicaCrashProb: 0.25}
+	crashed := 0
+	for replica := uint64(0); replica < 64; replica++ {
+		for epoch := uint64(0); epoch < 64; epoch++ {
+			a := p.ReplicaCrashed(7, replica, epoch)
+			b := p.ReplicaCrashed(7, replica, epoch)
+			if a != b {
+				t.Fatalf("ReplicaCrashed(7, %d, %d) not deterministic", replica, epoch)
+			}
+			if a {
+				crashed++
+			}
+		}
+	}
+	rate := float64(crashed) / (64 * 64)
+	if math.Abs(rate-0.25) > 0.05 {
+		t.Errorf("crash rate %.3f, want ~0.25", rate)
+	}
+	// A different seed must redraw the schedule.
+	diff := 0
+	for replica := uint64(0); replica < 64; replica++ {
+		if p.ReplicaCrashed(7, replica, 0) != p.ReplicaCrashed(8, replica, 0) {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("seed 7 and 8 drew identical crash schedules across 64 replicas")
+	}
+}
+
+// TestReplicaFlapWindows pins the flap model: a flapping replica is down
+// for roughly DownFrac of its cycle, the windows are contiguous (one
+// down-run per period, not per-second coin flips), and the whole schedule
+// is a pure function of (seed, replica).
+func TestReplicaFlapWindows(t *testing.T) {
+	p := &Profile{ReplicaFlapPeriodSec: 100, ReplicaFlapDownFrac: 0.3}
+	const horizon = 10000
+	down, transitions := 0, 0
+	prev := false
+	for s := 0; s < horizon; s++ {
+		d := p.ReplicaFlapDown(42, 3, float64(s))
+		if d != p.ReplicaFlapDown(42, 3, float64(s)) {
+			t.Fatalf("ReplicaFlapDown not deterministic at t=%d", s)
+		}
+		if d {
+			down++
+		}
+		if s > 0 && d != prev {
+			transitions++
+		}
+		prev = d
+	}
+	frac := float64(down) / horizon
+	if math.Abs(frac-0.3) > 0.1 {
+		t.Errorf("down fraction %.3f, want ~0.3", frac)
+	}
+	// Period is drawn in [50, 150]s, so 10000s holds at most 200 cycles =
+	// 400 transitions; far fewer means windows, not noise.
+	if transitions < 2 || transitions > 450 {
+		t.Errorf("transitions = %d, want a window pattern (2..450)", transitions)
+	}
+}
+
+// TestProbeStallBounded pins the stall draw: magnitudes stay within
+// [0, max), the stall rate tracks the probability, and draws are
+// per-(replica, probe) deterministic.
+func TestProbeStallBounded(t *testing.T) {
+	p := &Profile{ProbeStallProb: 0.2, ProbeStallMaxMs: 500}
+	stalled := 0
+	for probe := uint64(0); probe < 2000; probe++ {
+		ms := p.ProbeStallMs(9, 1, probe)
+		if ms != p.ProbeStallMs(9, 1, probe) {
+			t.Fatalf("ProbeStallMs not deterministic at probe %d", probe)
+		}
+		if ms < 0 || ms >= 500 {
+			t.Fatalf("stall %f ms outside [0, 500)", ms)
+		}
+		if ms > 0 {
+			stalled++
+		}
+	}
+	rate := float64(stalled) / 2000
+	if math.Abs(rate-0.2) > 0.05 {
+		t.Errorf("stall rate %.3f, want ~0.2", rate)
+	}
+}
+
+// TestReplicaKnobsDisabled pins the zero-cost contract: nil and zero
+// profiles inject nothing, and Scale(0) turns the knobs off.
+func TestReplicaKnobsDisabled(t *testing.T) {
+	var nilP *Profile
+	if nilP.ReplicaCrashed(1, 0, 0) || nilP.ReplicaFlapDown(1, 0, 10) || nilP.ProbeStallMs(1, 0, 0) != 0 {
+		t.Error("nil profile injected a replica fault")
+	}
+	zero := &Profile{}
+	if zero.ReplicaCrashed(1, 0, 0) || zero.ReplicaFlapDown(1, 0, 10) || zero.ProbeStallMs(1, 0, 0) != 0 {
+		t.Error("zero profile injected a replica fault")
+	}
+	off := Hostile().Scale(0)
+	if off.ReplicaCrashProb != 0 || off.ReplicaFlapDownFrac != 0 || off.ProbeStallProb != 0 || off.ProbeStallMaxMs != 0 {
+		t.Errorf("Scale(0) left replica knobs on: %+v", off)
+	}
+	if !Hostile().Enabled() {
+		t.Error("hostile profile reports disabled")
+	}
+	if !(&Profile{ReplicaCrashProb: 0.1}).Enabled() {
+		t.Error("a profile with only replica knobs must report enabled")
+	}
+}

@@ -1,0 +1,251 @@
+package router
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"geoloc/internal/core"
+	"geoloc/internal/dataset"
+	"geoloc/internal/serve"
+	"geoloc/internal/telemetry"
+	"geoloc/internal/world"
+)
+
+var (
+	fleetTinyOnce sync.Once
+	fleetTinyDS   *dataset.Dataset
+)
+
+func fleetTinyDataset() *dataset.Dataset {
+	fleetTinyOnce.Do(func() {
+		c := core.NewCampaign(world.TinyConfig())
+		fleetTinyDS = dataset.Compile(c, dataset.Options{IncludeUnsanitized: true})
+	})
+	return fleetTinyDS
+}
+
+// newFleetRouter stands up a LocalFleet of n real serve replicas plus a
+// router (probes running) in front of it.
+func newFleetRouter(t *testing.T, n int, cfg Config) (*LocalFleet, *Router, *httptest.Server) {
+	t.Helper()
+	fleet, err := NewLocalFleet(n, fleetTinyDataset(), "test:tiny", serve.Config{})
+	if err != nil {
+		t.Fatalf("NewLocalFleet: %v", err)
+	}
+	t.Cleanup(fleet.Close)
+	cfg.ReplicaURLs = fleet.Addrs()
+	cfg.Controller = fleet
+	if cfg.ProbeInterval == 0 {
+		cfg.ProbeInterval = 10 * time.Millisecond
+	}
+	if cfg.UpstreamTimeout == 0 {
+		cfg.UpstreamTimeout = time.Second
+	}
+	rt, err := New(cfg, telemetry.New())
+	if err != nil {
+		t.Fatalf("New router: %v", err)
+	}
+	rt.Start()
+	t.Cleanup(rt.Close)
+	ts := httptest.NewServer(rt.Handler())
+	t.Cleanup(ts.Close)
+	return fleet, rt, ts
+}
+
+// hotIP returns an address the tiny dataset actually has a record for —
+// the traffic every chaos scenario aims at.
+func hotIP() string {
+	return fleetTinyDataset().Records[0].Prefix.Addr(1).String()
+}
+
+// TestLocalFleetStopStart pins the fleet lifecycle contract: Stop is an
+// abrupt crash, Start revives the replica on its ORIGINAL address (the
+// router's replica table is fixed), and double stop/start error.
+func TestLocalFleetStopStart(t *testing.T) {
+	fleet, err := NewLocalFleet(2, fleetTinyDataset(), "test:tiny", serve.Config{})
+	if err != nil {
+		t.Fatalf("NewLocalFleet: %v", err)
+	}
+	defer fleet.Close()
+	addrs := fleet.Addrs()
+
+	resp, err := http.Get(addrs[0] + "/healthz")
+	if err != nil {
+		t.Fatalf("replica 0 before stop: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	if err := fleet.StopReplica(0); err != nil {
+		t.Fatalf("StopReplica: %v", err)
+	}
+	if err := fleet.StopReplica(0); err == nil {
+		t.Error("double stop did not error")
+	}
+	if _, err := http.Get(addrs[0] + "/healthz"); err == nil {
+		t.Fatal("stopped replica still answers")
+	}
+	if fleet.Running(0) {
+		t.Error("Running(0) true after stop")
+	}
+
+	if err := fleet.StartReplica(0); err != nil {
+		t.Fatalf("StartReplica: %v", err)
+	}
+	if err := fleet.StartReplica(0); err == nil {
+		t.Error("double start did not error")
+	}
+	if addrs2 := fleet.Addrs(); addrs2[0] != addrs[0] {
+		t.Fatalf("replica 0 moved from %s to %s on restart", addrs[0], addrs2[0])
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err = http.Get(addrs[0] + "/healthz")
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("restarted replica never answered: %v", err)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestLocalFleetStall pins the stall primitive: a stalled replica
+// accepts the connection and then hangs until the request context dies.
+func TestLocalFleetStall(t *testing.T) {
+	fleet, err := NewLocalFleet(1, fleetTinyDataset(), "test:tiny", serve.Config{})
+	if err != nil {
+		t.Fatalf("NewLocalFleet: %v", err)
+	}
+	defer fleet.Close()
+	if err := fleet.StallReplica(0, true); err != nil {
+		t.Fatalf("StallReplica: %v", err)
+	}
+	client := &http.Client{Timeout: 200 * time.Millisecond}
+	if _, err := client.Get(fleet.Addrs()[0] + "/healthz"); err == nil {
+		t.Fatal("stalled replica answered")
+	}
+	if err := fleet.StallReplica(0, false); err != nil {
+		t.Fatalf("unstall: %v", err)
+	}
+	resp, err := client.Get(fleet.Addrs()[0] + "/healthz")
+	if err != nil {
+		t.Fatalf("unstalled replica: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+}
+
+// TestRouterSurvivesReplicaCrash is the in-package chaos rehearsal: a
+// 4-replica fleet with replication 2, the hot replica crashed mid-run —
+// every lookup keeps answering 200 (failing over), the crash shows up
+// in the health table, and the revived replica is re-admitted.
+func TestRouterSurvivesReplicaCrash(t *testing.T) {
+	fleet, rt, ts := newFleetRouter(t, 4, Config{
+		Replication: 2,
+		DownAfter:   2,
+		UpAfter:     2,
+	})
+	ip := hotIP()
+	hot := rt.Ranges().ReplicaFor(fleetTinyDataset().Records[0].Prefix.Addr(0))
+
+	get := func() (int, string) {
+		resp, err := http.Get(ts.URL + "/lookup?ip=" + ip)
+		if err != nil {
+			t.Fatalf("lookup: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, resp.Header.Get("X-Router-Replica")
+	}
+
+	if code, rep := get(); code != http.StatusOK || rep == "" {
+		t.Fatalf("pre-crash lookup: %d via %q", code, rep)
+	}
+	if err := fleet.StopReplica(hot); err != nil {
+		t.Fatalf("StopReplica(%d): %v", hot, err)
+	}
+	// Every request during the outage must still answer 200 — the
+	// fallback owns the range too. (A few early ones pay a failover.)
+	for i := 0; i < 20; i++ {
+		if code, _ := get(); code != http.StatusOK {
+			t.Fatalf("lookup %d during outage: %d, want 200 via failover", i, code)
+		}
+	}
+	waitReplicaState(t, ts.URL, hot, "down")
+	if err := fleet.StartReplica(hot); err != nil {
+		t.Fatalf("StartReplica(%d): %v", hot, err)
+	}
+	waitReplicaState(t, ts.URL, hot, "up")
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("post-recovery lookup: %d", code)
+	}
+}
+
+// TestAdminReplicaDrivesFleet pins the HTTP chaos surface end to end:
+// stop and start through /admin/replica actually crash and revive the
+// serve replica behind the router.
+func TestAdminReplicaDrivesFleet(t *testing.T) {
+	fleet, _, ts := newFleetRouter(t, 2, Config{
+		Replication: 2,
+		AdminToken:  "sekrit",
+	})
+	post := func(q string) int {
+		req, _ := http.NewRequest(http.MethodPost, ts.URL+"/admin/replica?"+q, nil)
+		req.Header.Set("X-Admin-Token", "sekrit")
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatalf("admin: %v", err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post("replica=1&action=stop"); got != http.StatusOK {
+		t.Fatalf("stop via admin: %d", got)
+	}
+	if fleet.Running(1) {
+		t.Fatal("replica 1 still running after admin stop")
+	}
+	if got := post("replica=1&action=stop"); got != http.StatusConflict {
+		t.Errorf("double stop via admin: %d, want 409", got)
+	}
+	if got := post("replica=1&action=start"); got != http.StatusOK {
+		t.Fatalf("start via admin: %d", got)
+	}
+	if !fleet.Running(1) {
+		t.Fatal("replica 1 not running after admin start")
+	}
+}
+
+// TestRouterVersionProxies pins /version: the router answers with the
+// fleet's artifact identity from any live replica.
+func TestRouterVersionProxies(t *testing.T) {
+	_, _, ts := newFleetRouter(t, 2, Config{Replication: 2})
+	resp, err := http.Get(ts.URL + "/version")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/version: %d", resp.StatusCode)
+	}
+	var v struct {
+		Records int    `json:"records"`
+		Source  string `json:"source"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if v.Records != len(fleetTinyDataset().Records) || v.Source != "test:tiny" {
+		t.Errorf("version = %+v, want the fleet artifact", v)
+	}
+}

@@ -1,0 +1,122 @@
+package router
+
+import (
+	"math"
+	"testing"
+
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/rhash"
+)
+
+// oracleReplicaFor is the linear-scan spec ReplicaFor must match: walk
+// every range and return the (unique) one containing the address.
+// Returns -1 on no cover and -2 on overlap so the property test can
+// tell the failure modes apart.
+func oracleReplicaFor(rs Ranges, a ipaddr.Addr) int {
+	found := -1
+	for _, r := range rs {
+		if r.Contains(a) {
+			if found != -1 {
+				return -2
+			}
+			found = r.Replica
+		}
+	}
+	return found
+}
+
+// TestPartitionCoversIPv4 is the satellite property test: for every
+// replica count 1..16 (and a few awkward larger ones) the partition
+// covers all of IPv4 with no overlaps, every range is non-empty and
+// prefix-aligned, and binary-search ReplicaFor agrees with the
+// linear-scan oracle on boundary and random addresses.
+func TestPartitionCoversIPv4(t *testing.T) {
+	counts := []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14, 15, 16, 17, 31, 100, 256}
+	for _, n := range counts {
+		rs := Partition(n)
+		if len(rs) != n {
+			t.Fatalf("n=%d: %d ranges", n, len(rs))
+		}
+		p := PrefixBits(n)
+		if 1<<p < n || (p > 0 && 1<<(p-1) >= n) {
+			t.Fatalf("n=%d: PrefixBits = %d", n, p)
+		}
+		align := uint32(1)<<(32-p) - 1 // low bits that must be zero/one at range edges
+		// Structural sweep: sorted, contiguous, exhaustive, aligned.
+		if rs[0].Lo != 0 {
+			t.Fatalf("n=%d: first range starts at %s", n, rs[0].Lo)
+		}
+		if uint32(rs[n-1].Hi) != math.MaxUint32 {
+			t.Fatalf("n=%d: last range ends at %s", n, rs[n-1].Hi)
+		}
+		for i, r := range rs {
+			if r.Replica != i {
+				t.Fatalf("n=%d: range %d owned by replica %d", n, i, r.Replica)
+			}
+			if r.Hi < r.Lo {
+				t.Fatalf("n=%d: empty range %d (%s-%s)", n, i, r.Lo, r.Hi)
+			}
+			if uint32(r.Lo)&align != 0 || uint32(r.Hi)&align != align {
+				t.Fatalf("n=%d: range %d (%s-%s) not /%d-aligned", n, i, r.Lo, r.Hi, p)
+			}
+			if i > 0 && uint32(r.Lo) != uint32(rs[i-1].Hi)+1 {
+				t.Fatalf("n=%d: gap or overlap between range %d and %d", n, i-1, i)
+			}
+		}
+		// Point checks against the oracle: every range boundary (and its
+		// neighbours) plus seeded random addresses.
+		var probes []ipaddr.Addr
+		for _, r := range rs {
+			probes = append(probes, r.Lo, r.Hi)
+			if r.Lo > 0 {
+				probes = append(probes, r.Lo-1)
+			}
+			if uint32(r.Hi) < math.MaxUint32 {
+				probes = append(probes, r.Hi+1)
+			}
+		}
+		for i := 0; i < 500; i++ {
+			probes = append(probes, ipaddr.Addr(uint32(rhash.Hash(uint64(n), 77, uint64(i)))))
+		}
+		for _, a := range probes {
+			want := oracleReplicaFor(rs, a)
+			switch want {
+			case -1:
+				t.Fatalf("n=%d: %s covered by no range", n, a)
+			case -2:
+				t.Fatalf("n=%d: %s covered by more than one range", n, a)
+			}
+			if got := rs.ReplicaFor(a); got != want {
+				t.Fatalf("n=%d: ReplicaFor(%s) = %d, oracle says %d", n, a, got, want)
+			}
+		}
+	}
+}
+
+// TestPartitionDeterministic pins that the partition is a pure function
+// of n — the router, geobench's chaos target pick, and the docs all
+// recompute it independently and must agree.
+func TestPartitionDeterministic(t *testing.T) {
+	for n := 1; n <= 16; n++ {
+		a, b := Partition(n), Partition(n)
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("n=%d: Partition not deterministic at range %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPartitionPanicsOutOfRange pins the guard rails.
+func TestPartitionPanicsOutOfRange(t *testing.T) {
+	for _, n := range []int{0, -1, 1<<16 + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Partition(%d) did not panic", n)
+				}
+			}()
+			Partition(n)
+		}()
+	}
+}

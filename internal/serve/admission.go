@@ -16,7 +16,6 @@ package serve
 import (
 	"bytes"
 	"context"
-	"math"
 	"net/http"
 	"strconv"
 	"time"
@@ -84,17 +83,26 @@ func (s *Server) admit(next http.Handler) http.Handler {
 	})
 }
 
-// shed answers one load-shed request: 429, a Retry-After hint, and the
-// shed counter — the overload contract geobench asserts on.
+// shed answers one load-shed request: 429, a jittered Retry-After hint
+// (retryafter.go — a constant hint would synchronize the shed clients
+// into a retry storm), and the shed counter — the overload contract
+// geobench asserts on.
 func (s *Server) shed(w http.ResponseWriter, m *reqMeta) {
 	m.setCause("shed")
 	s.sheds.Inc()
-	secs := int(math.Ceil(s.cfg.RetryAfter.Seconds()))
-	if secs < 1 {
-		secs = 1
-	}
+	secs := RetryAfterSecs(s.cfg.RetryAfter, s.jitterSeed(), s.shedSeq.Add(1))
 	w.Header().Set("Retry-After", strconv.Itoa(secs))
 	s.writeJSON(w, http.StatusTooManyRequests, errorBody{"server overloaded, retry after backoff"})
+}
+
+// jitterSeed keys the Retry-After jitter draws: the published artifact's
+// campaign seed when one exists (so a deterministic run jitters
+// deterministically), 0 before the first Publish.
+func (s *Server) jitterSeed() uint64 {
+	if a := s.Current(); a != nil {
+		return a.DS.Hdr.Seed
+	}
+	return 0
 }
 
 // withDeadline bounds next by the per-request deadline. The handler runs

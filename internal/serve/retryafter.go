@@ -1,0 +1,39 @@
+// Jittered Retry-After hints. A constant hint is a synchronization
+// primitive in disguise: every client shed at second T retries at
+// T+hint in one coordinated wave, which is exactly the load spike that
+// re-overloads a recovering server (or, behind the router, a replica
+// that was just re-admitted). Stretching the hint by a deterministic
+// per-answer jitter factor spreads the wave across a window twice the
+// base, while keeping runs reproducible — the factor is an rhash draw
+// keyed by (seed, answer sequence), not a wall-clock coin flip.
+package serve
+
+import (
+	"math"
+	"time"
+
+	"geoloc/internal/rhash"
+)
+
+// kRetryJitter namespaces the Retry-After jitter draws.
+var kRetryJitter = rhash.HashString("serve/retryafter")
+
+// RetryAfterSecs derives the Retry-After hint for one shed or
+// range-unavailable answer: the base stretched by a deterministic jitter
+// factor in [1, 2) drawn from (seed, parts...), rounded up to whole
+// seconds (the header's unit), never below 1. The same (base, seed,
+// parts) always yields the same hint; distinct parts spread a retry
+// storm across [base, 2·base).
+func RetryAfterSecs(base time.Duration, seed uint64, parts ...uint64) int {
+	if base <= 0 {
+		base = DefaultRetryAfter
+	}
+	all := make([]uint64, 0, len(parts)+2)
+	all = append(all, seed, kRetryJitter)
+	all = append(all, parts...)
+	secs := int(math.Ceil(base.Seconds() * (1 + rhash.UnitFloat(all...))))
+	if secs < 1 {
+		secs = 1
+	}
+	return secs
+}

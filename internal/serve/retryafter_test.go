@@ -1,0 +1,57 @@
+package serve
+
+import (
+	"testing"
+	"time"
+)
+
+// TestRetryAfterSecs is the table-driven pin of the jittered hint: same
+// inputs → same hint, hints live in [ceil(base), ceil(2·base)], the
+// floor is 1 second, and distinct keys actually spread (a constant would
+// re-synchronize every shed client into one retry wave).
+func TestRetryAfterSecs(t *testing.T) {
+	cases := []struct {
+		name     string
+		base     time.Duration
+		seed     uint64
+		parts    []uint64
+		min, max int
+	}{
+		{name: "1s base", base: time.Second, seed: 1, parts: []uint64{0}, min: 1, max: 2},
+		{name: "2s base", base: 2 * time.Second, seed: 1, parts: []uint64{1}, min: 2, max: 4},
+		{name: "5s base", base: 5 * time.Second, seed: 9, parts: []uint64{2}, min: 5, max: 10},
+		{name: "sub-second base floors at 1", base: 100 * time.Millisecond, seed: 1, parts: []uint64{3}, min: 1, max: 1},
+		{name: "zero base uses the default", base: 0, seed: 1, parts: []uint64{4}, min: 1, max: 2},
+		{name: "negative base uses the default", base: -time.Second, seed: 1, parts: []uint64{5}, min: 1, max: 2},
+		{name: "multi-part key", base: 3 * time.Second, seed: 7, parts: []uint64{1, 2, 3}, min: 3, max: 6},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got := RetryAfterSecs(c.base, c.seed, c.parts...)
+			if got != RetryAfterSecs(c.base, c.seed, c.parts...) {
+				t.Fatal("hint not deterministic")
+			}
+			if got < c.min || got > c.max {
+				t.Errorf("hint %d outside [%d, %d]", got, c.min, c.max)
+			}
+		})
+	}
+}
+
+// TestRetryAfterSpreads proves the anti-storm property: across many shed
+// sequence numbers the hints cover more than one value, so clients shed
+// together do not all come back together.
+func TestRetryAfterSpreads(t *testing.T) {
+	seen := map[int]int{}
+	for key := uint64(0); key < 1000; key++ {
+		seen[RetryAfterSecs(4*time.Second, 42, key)]++
+	}
+	if len(seen) < 3 {
+		t.Fatalf("1000 hints collapsed into %d distinct values %v; jitter is not spreading", len(seen), seen)
+	}
+	for v := range seen {
+		if v < 4 || v > 8 {
+			t.Errorf("hint %d outside [4, 8] for a 4s base", v)
+		}
+	}
+}

@@ -148,6 +148,7 @@ type Server struct {
 	sem      chan struct{} // admission slots; nil = unlimited
 	queued   atomic.Int64
 	draining atomic.Bool
+	shedSeq  atomic.Uint64 // keys the per-shed Retry-After jitter draw
 
 	// sleep implements fault-injected stalls; injectable so tests don't
 	// actually stall. Must honour the context (see ctxSleep).
