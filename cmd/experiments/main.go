@@ -34,6 +34,7 @@ import (
 	"geoloc/internal/atlas"
 	"geoloc/internal/checkpoint"
 	"geoloc/internal/core"
+	"geoloc/internal/dataset"
 	"geoloc/internal/experiments"
 	"geoloc/internal/faults"
 	"geoloc/internal/telemetry"
@@ -43,7 +44,12 @@ import (
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("experiments: ")
-	scale := flag.String("scale", "paper", "campaign scale: tiny, medium, or paper")
+	scale := flag.String("scale", "paper", "campaign scale: tiny, medium, paper, or a target count (e.g. 1e6) for the streaming pipeline")
+	window := flag.Int("window", dataset.DefaultStreamWindow, "streaming spill window in targets (numeric -scale only)")
+	artifact := flag.String("artifact", "", "streaming artifact output path (numeric -scale only; default geodset.bin next to the spill dir)")
+	v2 := flag.Bool("v2", true, "write the streaming artifact block-indexed (GEODSET2) instead of flat GEODSET1")
+	blockSize := flag.Int("block-size", 0, "GEODSET2 records per block (0 = format default)")
+	keepSpill := flag.Bool("keep-spill", false, "keep sealed spill runs after a successful streaming compile")
 	run := flag.String("run", "", "run only this experiment ID (default: all)")
 	trials := flag.Int("trials", 0, "random-subset trials for Fig 2a/2b (0 = library default; the paper uses 100)")
 	out := flag.String("out", "", "directory to write per-experiment report files")
@@ -65,6 +71,19 @@ func main() {
 	}
 	tele.Start()
 	defer tele.Finish()
+
+	if n, ok := streamScale(*scale); ok {
+		out := *artifact
+		if out == "" {
+			dir := *ckptDir
+			if dir == "" {
+				dir = "."
+			}
+			out = filepath.Join(dir, "geodset.bin")
+		}
+		runStreamScale(n, *window, out, *v2, *blockSize, *ckptDir, *resume, *keepSpill)
+		return
+	}
 
 	var cfg world.Config
 	switch *scale {

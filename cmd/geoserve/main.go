@@ -199,11 +199,35 @@ func run(o options) error {
 		return fmt.Errorf("unknown fault profile %q (want none, realistic, degraded, hostile)", o.faultName)
 	}
 
-	ds, err := obtainDataset(o.dsPath, o.scale, o.unsanitized)
-	if err != nil {
-		return err
+	// A numeric -scale (e.g. 1e6) selects the streaming pipeline: the
+	// artifact is external-merge compiled to disk as a block-indexed
+	// GEODSET2 and served via positioned reads, never decoded whole.
+	if n, ok := streamScale(o.scale); ok && o.dsPath == "" {
+		path, cleanup, err := streamCompile(n, o.writePath)
+		if err != nil {
+			return err
+		}
+		if o.writePath != "" {
+			log.Printf("wrote streaming artifact to %s", o.writePath)
+			return nil
+		}
+		defer cleanup()
+		o.dsPath = path
+	}
+
+	var ds *dataset.Dataset
+	serveBlockIndexed := o.dsPath != "" && isBlockIndexed(o.dsPath)
+	if !serveBlockIndexed {
+		var err error
+		ds, err = obtainDataset(o.dsPath, o.scale, o.unsanitized)
+		if err != nil {
+			return err
+		}
 	}
 	if o.writePath != "" {
+		if serveBlockIndexed {
+			return fmt.Errorf("-write with a block-indexed -dataset: the artifact is already on disk at %s", o.dsPath)
+		}
 		if err := ds.Write(o.writePath); err != nil {
 			return fmt.Errorf("write dataset: %w", err)
 		}
@@ -216,6 +240,9 @@ func run(o options) error {
 		source = "compiled:" + o.scale
 	}
 	if o.routerMode {
+		if serveBlockIndexed {
+			return fmt.Errorf("-router serves decoded GEODSET1 replicas; convert the artifact or serve it single-node")
+		}
 		return runRouter(o, prof, ds, source)
 	}
 
@@ -241,7 +268,15 @@ func run(o options) error {
 		BurnThreshold: o.sloBurnThreshold,
 		MetricsLabel:  "geoserve",
 	}, o.reg)
-	srv.Publish(ds, source)
+	if serveBlockIndexed {
+		art, err := srv.Reload(o.dsPath)
+		if err != nil {
+			return fmt.Errorf("open block-indexed dataset: %w", err)
+		}
+		log.Printf("serving block-indexed artifact: %d records from %s", art.Records, o.dsPath)
+	} else {
+		srv.Publish(ds, source)
+	}
 
 	httpSrv := &http.Server{
 		Addr:              o.addr,
@@ -267,7 +302,7 @@ func run(o options) error {
 				log.Printf("SIGHUP reload failed: %v", err)
 				continue
 			}
-			log.Printf("SIGHUP swap: generation %d, %d records from %s", art.Gen, len(art.DS.Records), art.Source)
+			log.Printf("SIGHUP swap: generation %d, %d records from %s", art.Gen, art.Records, art.Source)
 		}
 	}()
 
@@ -291,7 +326,7 @@ func run(o options) error {
 	}()
 
 	log.Printf("serving %d records on %s (faults=%s, generation %d)",
-		len(ds.Records), o.addr, o.faultName, srv.Current().Gen)
+		srv.Current().Records, o.addr, o.faultName, srv.Current().Gen)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err
 	}

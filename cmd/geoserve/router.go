@@ -119,7 +119,7 @@ func runRouter(o options, prof *faults.Profile, ds *dataset.Dataset, source stri
 			}
 			for i, s := range fleet.Servers() {
 				art := s.Publish(nds, o.dsPath)
-				log.Printf("SIGHUP swap: replica %d now generation %d (%d records)", i, art.Gen, len(art.DS.Records))
+				log.Printf("SIGHUP swap: replica %d now generation %d (%d records)", i, art.Gen, art.Records)
 			}
 		}
 	}()

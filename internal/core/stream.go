@@ -1,0 +1,251 @@
+// Streaming campaign execution (DESIGN.md §3.9): synthetic /24 targets
+// measured one at a time, in O(1) memory per target, so a campaign's
+// scale is a config knob instead of a matrix allocation. A
+// StreamCampaign never materializes its targets — each target's
+// location, responsiveness, and per-VP RTTs are pure keyed-hash
+// functions of (world seed, target index), the same determinism
+// contract netsim follows — which is exactly what the external-merge
+// compiler (dataset.CompileExternal) needs to process windows of
+// targets, spill them, crash, and re-measure on resume bit-identically.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"geoloc/internal/cbg"
+	"geoloc/internal/geo"
+	"geoloc/internal/ipaddr"
+	"geoloc/internal/rhash"
+)
+
+// Salt namespaces for the stream campaign's keyed randomness.
+const (
+	saltStreamTarget uint64 = 0xCA09_0100 // target placement + last mile
+	saltStreamPing   uint64 = 0xCA09_0101 // per-(target, VP) path behavior
+	saltStreamHash   uint64 = 0xCA09_0102 // StreamCampaign identity hash
+)
+
+// DefaultVPsPerTarget is how many vantage points measure each streamed
+// target: the K lowest-RTT responsive VPs, mirroring the paper's
+// insight that the nearest VPs carry nearly all of CBG's constraint
+// power (and keeping per-target work O(VPs) instead of O(VPs·CBG)).
+const DefaultVPsPerTarget = 16
+
+// maxVPsPerTarget bounds the selection so it fits fixed scratch.
+const maxVPsPerTarget = 64
+
+// DefaultStreamBase is the first /24 of the synthetic target range:
+// 64.0.0.0/24, far from the world allocator's 10.0.0.0/8 hosts, so
+// streamed prefixes never collide with anchors or probes.
+var DefaultStreamBase = ipaddr.Prefix24Of(ipaddr.Addr(64 << 24))
+
+// StreamSpec sizes a streaming campaign.
+type StreamSpec struct {
+	// Targets is the number of synthetic /24 targets.
+	Targets int
+	// VPsPerTarget is K in the K-lowest-RTT VP selection
+	// (DefaultVPsPerTarget when <= 0, capped at maxVPsPerTarget).
+	VPsPerTarget int
+	// Base is the first target /24 (DefaultStreamBase when zero).
+	// Target t's prefix is Base + t, so streamed prefixes are strictly
+	// increasing in t.
+	Base ipaddr.Prefix24
+}
+
+// StreamCampaign generates measurements for Targets synthetic /24s over
+// an existing campaign's sanitized vantage-point set. It implements
+// dataset.Source. MeasureTarget is safe for concurrent use.
+type StreamCampaign struct {
+	C    *Campaign
+	Spec StreamSpec
+
+	seed uint64
+	// Per-VP views, fixed at construction: measurement location
+	// (reported, as in the matrix pipeline), true-location trig (RTTs
+	// follow real geometry), last-mile delay, and responsiveness.
+	vpLoc      []geo.Point
+	vpTrig     []geo.Trig
+	vpLastMile []float64
+	vpResp     []float64
+}
+
+// NewStreamCampaign prepares a streaming campaign over c's VP set. The
+// campaign's matrices are NOT required — only world generation and §4.3
+// sanitization must have run (NewCampaign does both), which is what
+// keeps setup memory independent of Spec.Targets.
+func NewStreamCampaign(c *Campaign, spec StreamSpec) (*StreamCampaign, error) {
+	if spec.Targets <= 0 {
+		return nil, fmt.Errorf("core: stream campaign needs a positive target count, got %d", spec.Targets)
+	}
+	if spec.VPsPerTarget <= 0 {
+		spec.VPsPerTarget = DefaultVPsPerTarget
+	}
+	if spec.VPsPerTarget > maxVPsPerTarget {
+		spec.VPsPerTarget = maxVPsPerTarget
+	}
+	if spec.Base == 0 {
+		spec.Base = DefaultStreamBase
+	}
+	if last := uint64(spec.Base) + uint64(spec.Targets) - 1; last > 0x00FF_FFFF {
+		return nil, fmt.Errorf("core: %d targets from base %s overflow the /24 space",
+			spec.Targets, spec.Base)
+	}
+	s := &StreamCampaign{
+		C:          c,
+		Spec:       spec,
+		seed:       c.W.Cfg.Seed,
+		vpLoc:      make([]geo.Point, len(c.VPs)),
+		vpTrig:     make([]geo.Trig, len(c.VPs)),
+		vpLastMile: make([]float64, len(c.VPs)),
+		vpResp:     make([]float64, len(c.VPs)),
+	}
+	for i, h := range c.VPs {
+		s.vpLoc[i] = h.Reported
+		s.vpTrig[i] = geo.MakeTrig(h.Loc)
+		s.vpLastMile[i] = h.LastMileMs
+		s.vpResp[i] = h.RespScore
+	}
+	return s, nil
+}
+
+// ConfigHash canonically identifies the streaming campaign: the parent
+// campaign's hash mixed with everything in the spec that changes
+// measurement results.
+func (s *StreamCampaign) ConfigHash() uint64 {
+	return rhash.Hash(saltStreamHash, s.C.ConfigHash(),
+		uint64(s.Spec.Targets), uint64(s.Spec.VPsPerTarget), uint64(s.Spec.Base))
+}
+
+// NumTargets implements dataset.Source.
+func (s *StreamCampaign) NumTargets() int { return s.Spec.Targets }
+
+// TargetPrefix returns target t's /24 (strictly increasing in t).
+func (s *StreamCampaign) TargetPrefix(t int) ipaddr.Prefix24 {
+	return s.Spec.Base + ipaddr.Prefix24(t)
+}
+
+// TargetLocation returns target t's synthetic true location: a city
+// drawn by population-independent keyed hash, then a uniform point in
+// its disk. Exposed so experiments can score streamed estimates.
+func (s *StreamCampaign) TargetLocation(t int) geo.Point {
+	st := rhash.New(s.seed, saltStreamTarget, uint64(t))
+	city := &s.C.W.Cities[st.Intn(len(s.C.W.Cities))]
+	bearing := st.Range(0, 360)
+	dist := city.RadiusKm * math.Sqrt(st.Float64())
+	return geo.Destination(city.Loc, bearing, dist)
+}
+
+// vpRTT is one candidate measurement during VP selection.
+type vpRTT struct {
+	rtt float64
+	vp  int32
+}
+
+// MeasureTarget implements dataset.Source: it synthesizes target t and
+// returns its /24 plus the K-lowest-RTT responsive measurements, in VP
+// order. RTTs are true-geometry propagation at two-thirds c inflated by
+// a keyed path factor (≥ 1, so CBG constraint disks always contain the
+// target) plus both last miles and keyed queueing jitter — the same
+// shape netsim produces, at a fraction of the cost. A target whose city
+// roll lands on a BadLastMile city reproduces §5.1.5's inflated access
+// delays. Pure in t: repeated calls, any order, any goroutine, same
+// bytes.
+func (s *StreamCampaign) MeasureTarget(t int, buf []cbg.Measurement) (ipaddr.Prefix24, []cbg.Measurement) {
+	st := rhash.New(s.seed, saltStreamTarget, uint64(t))
+	city := &s.C.W.Cities[st.Intn(len(s.C.W.Cities))]
+	bearing := st.Range(0, 360)
+	dist := city.RadiusKm * math.Sqrt(st.Float64())
+	loc := geo.Destination(city.Loc, bearing, dist)
+	lastMile := st.Range(0.2, 4.0)
+	if city.BadLastMile {
+		lastMile += st.Range(4, 12)
+	}
+	tt := geo.MakeTrig(loc)
+
+	// Keep the K lowest-RTT responsive VPs in a fixed-size max-heap
+	// (worst candidate at the root), then emit them in VP order. Ties
+	// break toward the lower VP index so selection is total-ordered.
+	k := s.Spec.VPsPerTarget
+	var heap [maxVPsPerTarget]vpRTT
+	n := 0
+	for vp := range s.vpTrig {
+		pv := rhash.New(s.seed, saltStreamPing, uint64(t), uint64(vp))
+		if !pv.Bool(s.vpResp[vp]) {
+			continue
+		}
+		d := geo.TrigDistance(s.vpTrig[vp], tt)
+		inflate := 1.05 + 0.9*pv.Float64()
+		rtt := geo.DistanceToRTTMs(d, geo.TwoThirdsC)*inflate +
+			lastMile + s.vpLastMile[vp] + pv.Exp(0.3)
+		c := vpRTT{rtt: rtt, vp: int32(vp)}
+		switch {
+		case n < k:
+			heap[n] = c
+			n++
+			siftUp(heap[:n], n-1)
+		case lessVPRTT(c, heap[0]):
+			heap[0] = c
+			siftDown(heap[:n], 0)
+		}
+	}
+	// Selection sort by VP index: n ≤ 64, and measurement order must be
+	// ascending-VP like every other pipeline.
+	sel := heap[:n]
+	for i := 1; i < n; i++ {
+		c := sel[i]
+		j := i - 1
+		for j >= 0 && sel[j].vp > c.vp {
+			sel[j+1] = sel[j]
+			j--
+		}
+		sel[j+1] = c
+	}
+	buf = buf[:0]
+	for _, c := range sel {
+		buf = append(buf, cbg.Measurement{VP: s.vpLoc[c.vp], RTTMs: c.rtt})
+	}
+	return s.TargetPrefix(t), buf
+}
+
+// lessVPRTT orders candidates by RTT then VP index; the heap keeps the
+// *greatest* under this order at the root so the worst is evicted first.
+func lessVPRTT(a, b vpRTT) bool {
+	if a.rtt != b.rtt {
+		return a.rtt < b.rtt
+	}
+	return a.vp < b.vp
+}
+
+func siftUp(h []vpRTT, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !lessVPRTT(h[p], h[i]) {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func siftDown(h []vpRTT, i int) {
+	for {
+		l, r := 2*i+1, 2*i+2
+		big := i
+		if l < len(h) && lessVPRTT(h[big], h[l]) {
+			big = l
+		}
+		if r < len(h) && lessVPRTT(h[big], h[r]) {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
+// Cities returns the world's city count (diagnostics for experiment
+// reports).
+func (s *StreamCampaign) Cities() int { return len(s.C.W.Cities) }

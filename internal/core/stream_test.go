@@ -1,0 +1,143 @@
+package core
+
+import (
+	"math"
+	"sync"
+	"testing"
+
+	"geoloc/internal/cbg"
+	"geoloc/internal/geo"
+	"geoloc/internal/world"
+)
+
+var (
+	streamCampOnce sync.Once
+	streamCamp     *Campaign
+)
+
+// streamFixture shares one tiny campaign (world + sanitization only —
+// no matrices, the point of the streaming path) across the file's
+// tests.
+func streamFixture(t *testing.T) *Campaign {
+	t.Helper()
+	streamCampOnce.Do(func() { streamCamp = NewCampaign(world.TinyConfig()) })
+	return streamCamp
+}
+
+func TestStreamCampaignDeterministic(t *testing.T) {
+	c := streamFixture(t)
+	s1, err := NewStreamCampaign(c, StreamSpec{Targets: 200, VPsPerTarget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := NewStreamCampaign(c, StreamSpec{Targets: 200, VPsPerTarget: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b1, b2 []cbg.Measurement
+	for _, tgt := range []int{0, 1, 7, 99, 199} {
+		p1, m1 := s1.MeasureTarget(tgt, b1)
+		p2, m2 := s2.MeasureTarget(tgt, b2)
+		b1, b2 = m1, m2
+		if p1 != p2 {
+			t.Fatalf("target %d: prefixes differ (%s vs %s)", tgt, p1, p2)
+		}
+		if len(m1) != len(m2) {
+			t.Fatalf("target %d: measurement counts differ (%d vs %d)", tgt, len(m1), len(m2))
+		}
+		for i := range m1 {
+			if m1[i] != m2[i] {
+				t.Fatalf("target %d measurement %d: %+v vs %+v", tgt, i, m1[i], m2[i])
+			}
+		}
+	}
+	// Repeat calls on the same instance must also be bit-identical (resume
+	// re-measures through the same instance).
+	pa, ma := s1.MeasureTarget(42, nil)
+	pb, mb := s1.MeasureTarget(42, nil)
+	if pa != pb || len(ma) != len(mb) {
+		t.Fatalf("repeat measurement of target 42 differs")
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("repeat measurement of target 42 differs at %d", i)
+		}
+	}
+}
+
+func TestStreamCampaignMeasurementShape(t *testing.T) {
+	c := streamFixture(t)
+	const k = 8
+	s, err := NewStreamCampaign(c, StreamSpec{Targets: 500, VPsPerTarget: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf []cbg.Measurement
+	last := s.TargetPrefix(0)
+	for tgt := 0; tgt < 500; tgt++ {
+		p, ms := s.MeasureTarget(tgt, buf)
+		buf = ms
+		if tgt > 0 && p <= last {
+			t.Fatalf("target %d: prefix %s not greater than previous %s", tgt, p, last)
+		}
+		last = p
+		if len(ms) > k {
+			t.Fatalf("target %d: %d measurements exceed K=%d", tgt, len(ms), k)
+		}
+		loc := s.TargetLocation(tgt)
+		for i, m := range ms {
+			if m.RTTMs <= 0 || math.IsNaN(m.RTTMs) {
+				t.Fatalf("target %d measurement %d: bad RTT %g", tgt, i, m.RTTMs)
+			}
+			// The synthetic path factor is >= 1 at two-thirds c, so the CBG
+			// constraint disk around the (true-location) VP must contain the
+			// target — the same invariant netsim's physics guarantees. The
+			// measurement's VP field is the reported location; sanitized VPs
+			// report truthfully enough that the check still holds with the
+			// last-mile slack included.
+			bound := geo.RTTToDistanceKm(m.RTTMs, geo.TwoThirdsC)
+			if d := geo.Distance(m.VP, loc); d > bound+1 {
+				t.Fatalf("target %d measurement %d: VP %.1f km away but disk is %.1f km",
+					tgt, i, d, bound)
+			}
+		}
+	}
+}
+
+func TestStreamCampaignSpecValidation(t *testing.T) {
+	c := streamFixture(t)
+	if _, err := NewStreamCampaign(c, StreamSpec{Targets: 0}); err == nil {
+		t.Fatal("zero targets accepted")
+	}
+	if _, err := NewStreamCampaign(c, StreamSpec{Targets: 1 << 25}); err == nil {
+		t.Fatal("target count overflowing the /24 space accepted")
+	}
+	s, err := NewStreamCampaign(c, StreamSpec{Targets: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Spec.VPsPerTarget != DefaultVPsPerTarget {
+		t.Fatalf("K default not applied: %d", s.Spec.VPsPerTarget)
+	}
+	if s.Spec.Base != DefaultStreamBase {
+		t.Fatalf("base default not applied: %s", s.Spec.Base)
+	}
+	// Identity hash must move with every spec knob.
+	h := func(spec StreamSpec) uint64 {
+		sc, err := NewStreamCampaign(c, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sc.ConfigHash()
+	}
+	base := h(StreamSpec{Targets: 10})
+	if h(StreamSpec{Targets: 11}) == base {
+		t.Fatal("target count not in identity hash")
+	}
+	if h(StreamSpec{Targets: 10, VPsPerTarget: 9}) == base {
+		t.Fatal("K not in identity hash")
+	}
+	if h(StreamSpec{Targets: 10, Base: DefaultStreamBase + 1}) == base {
+		t.Fatal("base prefix not in identity hash")
+	}
+}

@@ -28,13 +28,13 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"sync"
 
 	"geoloc/internal/cbg"
 	"geoloc/internal/core"
 	"geoloc/internal/geo"
 	"geoloc/internal/ipaddr"
 	"geoloc/internal/ipindex"
-	"geoloc/internal/par"
 	"geoloc/internal/streetlevel"
 	"geoloc/internal/telemetry"
 )
@@ -431,71 +431,46 @@ type Options struct {
 // (idempotent). Everything is deterministic given the campaign's seed, so
 // recompiling a same-config campaign yields a bit-identical artifact —
 // the golden regression test depends on that.
+//
+// Compile is the in-RAM compilation path and the oracle the external-merge
+// compiler (CompileExternal, stream.go) is pinned against bit for bit.
 func Compile(c *core.Campaign, opts Options) *Dataset {
 	defer telemetry.Default().StartSpan("phase.dataset").End()
-	speed := opts.SpeedKmPerMs
-	if speed == 0 {
-		speed = geo.TwoThirdsC
-	}
-	c.BuildTargetMatrix()
-	m := c.TargetRTT
+	return CompileFromSource(NewCampaignSource(c), CampaignHeader(c), opts, CampaignExtras(c, opts))
+}
 
+// CampaignHeader builds the artifact header identifying a campaign.
+func CampaignHeader(c *core.Campaign) Header {
 	profile := "raw"
 	if p := c.FaultProfile(); p != nil {
 		profile = p.Name
 	}
-	d := &Dataset{Hdr: Header{
+	return Header{
 		Version:    Version,
 		ConfigHash: c.ConfigHash(),
 		Seed:       c.W.Cfg.Seed,
 		Profile:    profile,
-	}}
-	// Per-target records fan across the analysis pool into an
-	// index-addressed slice (par determinism contract: each worker reuses
-	// its own measurement scratch, no cross-target state), then reduce
-	// into d.Records in target order — bit-identical at any worker count.
-	recs := make([]Record, len(c.Targets))
-	oks := make([]bool, len(c.Targets))
-	scratch := make([][]cbg.Measurement, par.Workers(len(c.Targets)))
-	par.ForWorker(len(c.Targets), func(w, t int) {
-		ms := scratch[w]
-		if ms == nil {
-			ms = make([]cbg.Measurement, 0, len(c.VPs))
-		}
-		ms = ms[:0]
-		for vp := range c.VPs {
-			rtt := float64(m.RTT[vp][t])
-			if math.IsNaN(rtt) {
-				continue
-			}
-			ms = append(ms, cbg.Measurement{VP: m.VPs[vp], RTTMs: rtt})
-		}
-		scratch[w] = ms
-		recs[t], oks[t] = compileRecord(ms, speed)
-	})
-	d.Records = make([]Record, 0, len(c.Targets)+len(c.RemovedAnchors))
-	for t, target := range c.Targets {
-		if !oks[t] {
-			continue // no responsive vantage point at all: nothing to say
-		}
-		rec := recs[t]
-		rec.Prefix = ipaddr.Prefix24Of(target.Addr)
-		rec.Sanitized = true
-		d.Records = append(d.Records, rec)
 	}
-	if opts.IncludeUnsanitized {
-		for _, id := range c.RemovedAnchors {
-			h := c.W.Host(id)
-			d.Records = append(d.Records, Record{
-				Prefix:   ipaddr.Prefix24Of(h.Addr),
-				Centroid: h.Reported,
-				Method:   MethodReported,
-			})
-		}
+}
+
+// CampaignExtras returns the non-measured records a campaign contributes
+// beyond its targets: the anchors §4.3 removed, when Options asks for
+// them. They compete with target records in dedupe exactly as they did
+// when Compile appended them inline — after all targets, in removal order.
+func CampaignExtras(c *core.Campaign, opts Options) []Record {
+	if !opts.IncludeUnsanitized {
+		return nil
 	}
-	sortRecords(d)
-	meters.compiled.Add(int64(len(d.Records)))
-	return d
+	extras := make([]Record, 0, len(c.RemovedAnchors))
+	for _, id := range c.RemovedAnchors {
+		h := c.W.Host(id)
+		extras = append(extras, Record{
+			Prefix:   ipaddr.Prefix24Of(h.Addr),
+			Centroid: h.Reported,
+			Method:   MethodReported,
+		})
+	}
+	return extras
 }
 
 // compileRecord estimates one target from its measurements: CBG centroid
@@ -510,34 +485,59 @@ func Compile(c *core.Campaign, opts Options) *Dataset {
 // a conservative speed constant — can sit from the centroid. A sampled
 // maximum would be tighter but loses the coverage guarantee to grid
 // resolution.
+// The constraint sampling runs through geo.Sampler — bit-exact with the
+// Region.Reduced → SamplePoints → Centroid chain it replaced (the golden
+// digests pin this) but allocation-free with hoisted trigonometry, which
+// is what makes million-target compiles tractable.
 func compileRecord(ms []cbg.Measurement, speed float64) (Record, bool) {
-	raw := cbg.Constraints(ms, speed)
-	region := raw.Reduced()
-	pts := region.SamplePoints(geo.DefaultSampleRings, geo.DefaultSampleBearings)
-	if pts != nil {
-		centroid, ok := geo.Centroid(pts)
-		if ok {
-			radius := math.Inf(1)
-			for _, c := range region.Circles {
-				if bound := geo.Distance(centroid, c.Center) + c.RadiusKm; bound < radius {
-					radius = bound
-				}
-			}
-			return Record{Centroid: centroid, RadiusKm: radius, Method: MethodCBG}, true
+	sm := compileSamplers.Get().(*geo.Sampler)
+	defer compileSamplers.Put(sm)
+	sm.Reset()
+	tight := math.Inf(1)
+	for _, m := range ms {
+		if m.RTTMs < 0 || math.IsNaN(m.RTTMs) {
+			continue
 		}
+		r := geo.RTTToDistanceKm(m.RTTMs, speed)
+		sm.Add(geo.Circle{Center: m.VP, RadiusKm: r})
+		if r < tight {
+			tight = r
+		}
+	}
+	if centroid, ok := sm.Centroid(geo.DefaultSampleRings, geo.DefaultSampleBearings); ok {
+		radius := math.Inf(1)
+		sm.Kept(func(c geo.Circle) {
+			// Min over the surviving set; survivor order (which the sampler
+			// scrambles) cannot change the value.
+			if bound := geo.Distance(centroid, c.Center) + c.RadiusKm; bound < radius {
+				radius = bound
+			}
+		})
+		return Record{Centroid: centroid, RadiusKm: radius, Method: MethodCBG}, true
 	}
 	est, err := cbg.ShortestPing(ms)
 	if err != nil {
 		return Record{}, false
 	}
-	tight, _ := region.Tightest()
-	return Record{Centroid: est, RadiusKm: tight.RadiusKm, Method: MethodShortestPing}, true
+	if math.IsInf(tight, 1) {
+		tight = 0 // no responsive VP: same zero Tightest reported on an empty region
+	}
+	return Record{Centroid: est, RadiusKm: tight, Method: MethodShortestPing}, true
 }
 
+// compileSamplers pools per-record sampling scratch across compile
+// workers; a sampler is reset before use, so pooling never influences
+// results.
+var compileSamplers = sync.Pool{New: func() any { return new(geo.Sampler) }}
+
 // sortRecords sorts by prefix and resolves duplicate prefixes, preferring
-// sanitized records, then smaller confidence radii.
+// sanitized records, then smaller confidence radii. The sort is stable so
+// exact ties (e.g. two removed anchors sharing a /24) resolve to the
+// earliest record in input order — the same rule the external-merge
+// compiler applies across spill runs, which is what keeps the two paths
+// bit-identical.
 func sortRecords(d *Dataset) {
-	sort.Slice(d.Records, func(i, j int) bool { return d.Records[i].Prefix < d.Records[j].Prefix })
+	sort.SliceStable(d.Records, func(i, j int) bool { return d.Records[i].Prefix < d.Records[j].Prefix })
 	out := d.Records[:0]
 	for _, r := range d.Records {
 		if n := len(out); n > 0 && out[n-1].Prefix == r.Prefix {

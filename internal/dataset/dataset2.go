@@ -1,0 +1,604 @@
+// GEODSET2: the block-indexed artifact variant (DESIGN.md §3.9). The
+// flat GEODSET1 format must be decoded whole, so serving it costs RAM
+// proportional to the dataset. GEODSET2 keeps the same record payloads
+// and frame discipline but groups records into fixed-size sorted blocks
+// with a trailing per-block key index and a fixed-size footer:
+//
+//	magic "GEODSET2" (8 bytes)
+//	header frame      kind 0 | payloadLen u32 | crc32 u32 | header payload (Version=2)
+//	block frame*      kind 2 | ...           | count u16 | count × record payload
+//	index frame       kind 3 | ...           | per block: first u32 | last u32 | count u32 | off u64 | plen u32
+//	footer (28 bytes) indexOff u64 | records u64 | crc32(indexOff‖records) u32 | "GDS2TAIL"
+//
+// A reader seeks to the footer, loads the index, and thereafter touches
+// only the blocks a lookup lands in — O(blocks-touched) resident memory
+// at any artifact size. Like GEODSET1 the file is written atomically
+// (tmp + fsync + rename), so truncation is damage, not a crash tail.
+package dataset
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"geoloc/internal/ipaddr"
+)
+
+// Magic2 identifies a block-indexed dataset artifact.
+const Magic2 = "GEODSET2"
+
+// Version2 is the GEODSET2 format version, carried in the same header
+// payload layout as GEODSET1.
+const Version2 = 2
+
+// GEODSET2 frame kinds (kindHeader is shared with GEODSET1).
+const (
+	kindBlock byte = 2
+	kindIndex byte = 3
+)
+
+// DefaultBlockSize is the records-per-block default: 256 records ≈ 7.7 KB
+// per block frame, a few disk pages.
+const DefaultBlockSize = 256
+
+// maxBlockRecords bounds a block so corrupt counts cannot drive huge
+// allocations; the writer enforces it, the reader rejects beyond it.
+const maxBlockRecords = 4096
+
+// maxIndexPayload bounds the index frame. 24 bytes per block covers a
+// full-IPv4 artifact (2^24 /24s at minimum block size) with room over.
+const maxIndexPayload = 64 << 20
+
+// footerLen is the fixed footer: indexOff u64 | records u64 | crc32 u32 |
+// tail magic (8).
+const footerLen = 28
+
+// tailMagic ends every GEODSET2 file; its absence is the fastest
+// possible "not a (complete) GEODSET2" signal.
+const tailMagic = "GDS2TAIL"
+
+// indexEntryLen is the per-block index entry size.
+const indexEntryLen = 4 + 4 + 4 + 8 + 4
+
+// blockMeta is one decoded index entry.
+type blockMeta struct {
+	first, last ipaddr.Prefix24
+	count       uint32
+	off         int64
+	plen        uint32
+}
+
+// Writer2 streams records into a GEODSET2 file in ascending prefix
+// order. It holds one block plus the (small) index in memory, so writing
+// a full-IPv4-scale artifact is O(block). The file appears atomically at
+// path on Finish; Abort (or a crash) leaves only a .tmp.
+type Writer2 struct {
+	path, tmp string
+	f         *os.File
+	w         *bufio.Writer
+	blockSize int
+	hdr       Header
+	cur       []Record
+	index     []blockMeta
+	off       int64
+	records   uint64
+	last      ipaddr.Prefix24
+	finished  bool
+}
+
+// NewWriter2 starts a GEODSET2 artifact at path. blockSize <= 0 means
+// DefaultBlockSize; larger than maxBlockRecords is rejected.
+func NewWriter2(path string, hdr Header, blockSize int) (*Writer2, error) {
+	if blockSize <= 0 {
+		blockSize = DefaultBlockSize
+	}
+	if blockSize > maxBlockRecords {
+		return nil, fmt.Errorf("dataset: block size %d exceeds limit %d", blockSize, maxBlockRecords)
+	}
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr.Version = Version2
+	w := &Writer2{
+		path: path, tmp: tmp, f: f, w: bufio.NewWriterSize(f, 64<<10),
+		blockSize: blockSize, hdr: hdr, cur: make([]Record, 0, blockSize),
+	}
+	if _, err := w.w.WriteString(Magic2); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	hb := frame(kindHeader, encodeHeader(hdr))
+	if _, err := w.w.Write(hb); err != nil {
+		w.Abort()
+		return nil, err
+	}
+	w.off = int64(len(Magic2) + len(hb))
+	return w, nil
+}
+
+// Add appends one record; prefixes must be strictly ascending.
+func (w *Writer2) Add(r Record) error {
+	if w.records > 0 && r.Prefix <= w.last {
+		return fmt.Errorf("dataset: records out of order (%s after %s)", r.Prefix, w.last)
+	}
+	w.cur = append(w.cur, r)
+	w.last = r.Prefix
+	w.records++
+	if len(w.cur) == w.blockSize {
+		return w.flushBlock()
+	}
+	return nil
+}
+
+func (w *Writer2) flushBlock() error {
+	if len(w.cur) == 0 {
+		return nil
+	}
+	payload := make([]byte, 0, 2+len(w.cur)*recordPayloadLen)
+	payload = binary.LittleEndian.AppendUint16(payload, uint16(len(w.cur)))
+	for _, r := range w.cur {
+		payload = append(payload, encodeRecord(r)...)
+	}
+	fb := frame(kindBlock, payload)
+	if _, err := w.w.Write(fb); err != nil {
+		return err
+	}
+	w.index = append(w.index, blockMeta{
+		first: w.cur[0].Prefix,
+		last:  w.cur[len(w.cur)-1].Prefix,
+		count: uint32(len(w.cur)),
+		off:   w.off,
+		plen:  uint32(len(payload)),
+	})
+	w.off += int64(len(fb))
+	w.cur = w.cur[:0]
+	return nil
+}
+
+// Finish flushes the last block, writes the index and footer, fsyncs,
+// and atomically renames the file into place. Returns the final size.
+func (w *Writer2) Finish() (int64, error) {
+	if err := w.flushBlock(); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	indexOff := w.off
+	payload := make([]byte, 0, len(w.index)*indexEntryLen)
+	for _, b := range w.index {
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(b.first))
+		payload = binary.LittleEndian.AppendUint32(payload, uint32(b.last))
+		payload = binary.LittleEndian.AppendUint32(payload, b.count)
+		payload = binary.LittleEndian.AppendUint64(payload, uint64(b.off))
+		payload = binary.LittleEndian.AppendUint32(payload, b.plen)
+	}
+	fb := frame(kindIndex, payload)
+	if _, err := w.w.Write(fb); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	w.off += int64(len(fb))
+	footer := make([]byte, 0, footerLen)
+	footer = binary.LittleEndian.AppendUint64(footer, uint64(indexOff))
+	footer = binary.LittleEndian.AppendUint64(footer, w.records)
+	footer = binary.LittleEndian.AppendUint32(footer, crc32.ChecksumIEEE(footer[:16]))
+	footer = append(footer, tailMagic...)
+	if _, err := w.w.Write(footer); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	w.off += footerLen
+	if err := w.w.Flush(); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	if err := w.f.Sync(); err != nil {
+		w.Abort()
+		return 0, err
+	}
+	if err := w.f.Close(); err != nil {
+		os.Remove(w.tmp)
+		return 0, err
+	}
+	w.finished = true
+	if err := os.Rename(w.tmp, w.path); err != nil {
+		return 0, err
+	}
+	if dir, err := os.Open(filepath.Dir(w.path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	return w.off, nil
+}
+
+// Abort discards the partial file. Safe after Finish (no-op).
+func (w *Writer2) Abort() {
+	if w.finished {
+		return
+	}
+	w.f.Close()
+	os.Remove(w.tmp)
+	w.finished = true
+}
+
+// NumBlocks reports how many blocks have been flushed so far.
+func (w *Writer2) NumBlocks() int { return len(w.index) }
+
+// blockCacheSize is the Reader2 decoded-block LRU capacity. 64 default
+// blocks ≈ 64 × 256 records ≈ 800 KB — the reader's steady-state
+// footprint no matter how large the artifact is.
+const blockCacheSize = 64
+
+// Reader2 serves lookups out of a GEODSET2 artifact via positioned
+// block reads: open cost is the header, index, and footer; lookups read
+// (and LRU-cache) only the block they land in. Safe for concurrent use.
+//
+// Reader2 holds its file open for its lifetime; Close releases it.
+// The serving tier deliberately never closes a swapped-out reader —
+// in-flight requests may still hold it — and lets process exit reclaim
+// the descriptor (bounded by the number of swaps).
+type Reader2 struct {
+	r       io.ReaderAt
+	closer  io.Closer
+	hdr     Header
+	blocks  []blockMeta
+	records int
+
+	cache *blockCache
+}
+
+// Open2 opens a GEODSET2 artifact file for block-indexed reads.
+func Open2(path string) (*Reader2, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	d, err := NewReader2(f, st.Size())
+	if err != nil {
+		f.Close()
+		meters.badLoads.Inc()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d.closer = f
+	return d, nil
+}
+
+// NewReader2 builds a reader over any io.ReaderAt (the fuzz harness
+// hands it a bytes.Reader). Every validation failure is one of the
+// package's named errors; arbitrary input never panics.
+func NewReader2(r io.ReaderAt, size int64) (*Reader2, error) {
+	if size < int64(len(Magic2)) {
+		return nil, ErrBadMagic
+	}
+	var magic [len(Magic2)]byte
+	if _, err := r.ReadAt(magic[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrTruncated, err)
+	}
+	if string(magic[:]) != Magic2 {
+		return nil, ErrBadMagic
+	}
+	if size < int64(len(Magic2))+frameOverhead+footerLen {
+		return nil, fmt.Errorf("%w: %d bytes is too small for a GEODSET2 file", ErrTruncated, size)
+	}
+	var footer [footerLen]byte
+	if _, err := r.ReadAt(footer[:], size-footerLen); err != nil {
+		return nil, fmt.Errorf("%w: reading footer: %v", ErrTruncated, err)
+	}
+	if string(footer[20:]) != tailMagic {
+		return nil, fmt.Errorf("%w: footer tail magic missing", ErrTruncated)
+	}
+	if crc32.ChecksumIEEE(footer[:16]) != binary.LittleEndian.Uint32(footer[16:]) {
+		return nil, fmt.Errorf("%w: footer CRC mismatch", ErrCorrupt)
+	}
+	indexOff := int64(binary.LittleEndian.Uint64(footer[0:]))
+	records := binary.LittleEndian.Uint64(footer[8:])
+	if indexOff < int64(len(Magic2))+frameOverhead || indexOff > size-footerLen-frameOverhead {
+		return nil, fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOff)
+	}
+
+	d := &Reader2{r: r, cache: newBlockCache(blockCacheSize)}
+
+	// Header frame right after the magic.
+	kind, payload, err := readFrameAt(r, int64(len(Magic2)), size, maxPayload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindHeader {
+		return nil, fmt.Errorf("%w: first frame has kind %d", ErrNoHeader, kind)
+	}
+	hdr, err := decodeHeader(payload)
+	if err != nil {
+		return nil, err
+	}
+	if hdr.Version != Version2 {
+		return nil, fmt.Errorf("%w: artifact version %d, GEODSET2 decoder version %d",
+			ErrBadVersion, hdr.Version, Version2)
+	}
+	d.hdr = hdr
+
+	// Index frame at the footer's offset.
+	kind, payload, err = readFrameAt(r, indexOff, size-footerLen, maxIndexPayload)
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindIndex {
+		return nil, fmt.Errorf("%w: frame at index offset has kind %d", ErrCorrupt, kind)
+	}
+	if len(payload)%indexEntryLen != 0 {
+		return nil, fmt.Errorf("%w: index payload length %d not a multiple of %d",
+			ErrCorrupt, len(payload), indexEntryLen)
+	}
+	n := len(payload) / indexEntryLen
+	d.blocks = make([]blockMeta, n)
+	total := uint64(0)
+	minOff := int64(len(Magic2)) + frameOverhead
+	for i := range d.blocks {
+		e := payload[i*indexEntryLen:]
+		b := blockMeta{
+			first: ipaddr.Prefix24(binary.LittleEndian.Uint32(e[0:])),
+			last:  ipaddr.Prefix24(binary.LittleEndian.Uint32(e[4:])),
+			count: binary.LittleEndian.Uint32(e[8:]),
+			off:   int64(binary.LittleEndian.Uint64(e[12:])),
+			plen:  binary.LittleEndian.Uint32(e[20:]),
+		}
+		switch {
+		case b.count == 0 || b.count > maxBlockRecords:
+			return nil, fmt.Errorf("%w: block %d claims %d records", ErrCorrupt, i, b.count)
+		case uint32(b.first) > 0x00FF_FFFF || uint32(b.last) > 0x00FF_FFFF || b.first > b.last:
+			return nil, fmt.Errorf("%w: block %d key range invalid", ErrCorrupt, i)
+		case int(b.plen) != 2+int(b.count)*recordPayloadLen:
+			return nil, fmt.Errorf("%w: block %d payload length %d does not match count %d",
+				ErrCorrupt, i, b.plen, b.count)
+		case b.off < minOff || b.off+frameOverhead+int64(b.plen) > indexOff:
+			return nil, fmt.Errorf("%w: block %d offset out of range", ErrCorrupt, i)
+		case i > 0 && b.first <= d.blocks[i-1].last:
+			return nil, fmt.Errorf("%w: block %d keys overlap block %d", ErrCorrupt, i, i-1)
+		case i > 0 && b.off < d.blocks[i-1].off+frameOverhead+int64(d.blocks[i-1].plen):
+			return nil, fmt.Errorf("%w: block %d overlaps block %d on disk", ErrCorrupt, i, i-1)
+		}
+		d.blocks[i] = b
+		total += uint64(b.count)
+	}
+	if total != records {
+		return nil, fmt.Errorf("%w: footer says %d records, index sums to %d", ErrCorrupt, records, total)
+	}
+	d.records = int(records)
+	meters.decodes.Inc()
+	return d, nil
+}
+
+// readFrameAt reads and CRC-checks one frame at off; limit is the first
+// byte the frame must not extend past.
+func readFrameAt(r io.ReaderAt, off, limit int64, maxLen int) (byte, []byte, error) {
+	var fh [frameOverhead]byte
+	if off+frameOverhead > limit {
+		return 0, nil, fmt.Errorf("%w: frame at offset %d runs past EOF", ErrTruncated, off)
+	}
+	if _, err := r.ReadAt(fh[:], off); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading frame at offset %d: %v", ErrTruncated, off, err)
+	}
+	kind := fh[0]
+	plen := int(binary.LittleEndian.Uint32(fh[1:]))
+	want := binary.LittleEndian.Uint32(fh[5:])
+	if plen > maxLen {
+		return 0, nil, fmt.Errorf("%w: frame at offset %d claims %d-byte payload", ErrCorrupt, off, plen)
+	}
+	if off+frameOverhead+int64(plen) > limit {
+		return 0, nil, fmt.Errorf("%w: frame at offset %d runs past EOF", ErrTruncated, off)
+	}
+	payload := make([]byte, plen)
+	if _, err := r.ReadAt(payload, off+frameOverhead); err != nil {
+		return 0, nil, fmt.Errorf("%w: reading frame payload at offset %d: %v", ErrTruncated, off, err)
+	}
+	crc := crc32.NewIEEE()
+	crc.Write(fh[:1])
+	crc.Write(payload)
+	if crc.Sum32() != want {
+		return 0, nil, fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, off)
+	}
+	return kind, payload, nil
+}
+
+// Header returns the artifact's provenance header.
+func (d *Reader2) Header() Header { return d.hdr }
+
+// NumRecords reports the artifact's record count (from the footer,
+// validated against the index).
+func (d *Reader2) NumRecords() int { return d.records }
+
+// NumBlocks reports the number of blocks.
+func (d *Reader2) NumBlocks() int { return len(d.blocks) }
+
+// Close releases the underlying file (no-op for byte readers).
+func (d *Reader2) Close() error {
+	if d.closer != nil {
+		return d.closer.Close()
+	}
+	return nil
+}
+
+// block fetches the decoded records of block i, validating the frame
+// CRC, the count, and that keys are strictly ascending inside the index
+// entry's [first, last] range. cacheIt controls LRU insertion — full
+// scans skip it so they cannot evict a serving workload's hot blocks.
+func (d *Reader2) block(i int, cacheIt bool) ([]Record, error) {
+	if recs, ok := d.cache.get(i); ok {
+		return recs, nil
+	}
+	b := d.blocks[i]
+	kind, payload, err := readFrameAt(d.r, b.off, b.off+frameOverhead+int64(b.plen), int(b.plen))
+	if err != nil {
+		return nil, err
+	}
+	if kind != kindBlock {
+		return nil, fmt.Errorf("%w: block %d frame has kind %d", ErrCorrupt, i, kind)
+	}
+	if len(payload) != int(b.plen) || len(payload) < 2 {
+		return nil, fmt.Errorf("%w: block %d payload size mismatch", ErrCorrupt, i)
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	if count != int(b.count) {
+		return nil, fmt.Errorf("%w: block %d holds %d records, index says %d", ErrCorrupt, i, count, b.count)
+	}
+	recs := make([]Record, count)
+	for k := 0; k < count; k++ {
+		r, err := decodeRecord(payload[2+k*recordPayloadLen : 2+(k+1)*recordPayloadLen])
+		if err != nil {
+			return nil, err
+		}
+		if k > 0 && recs[k-1].Prefix >= r.Prefix {
+			return nil, fmt.Errorf("%w: block %d records not strictly sorted at %d", ErrCorrupt, i, k)
+		}
+		recs[k] = r
+	}
+	if recs[0].Prefix != b.first || recs[count-1].Prefix != b.last {
+		return nil, fmt.Errorf("%w: block %d key range does not match its index entry", ErrCorrupt, i)
+	}
+	if cacheIt {
+		d.cache.put(i, recs)
+	}
+	return recs, nil
+}
+
+// Lookup returns the record for exactly prefix p, reading at most one
+// block.
+func (d *Reader2) Lookup(p ipaddr.Prefix24) (Record, bool, error) {
+	// Last block whose first key is <= p.
+	i := sort.Search(len(d.blocks), func(i int) bool { return d.blocks[i].first > p }) - 1
+	if i < 0 || p > d.blocks[i].last {
+		return Record{}, false, nil
+	}
+	recs, err := d.block(i, true)
+	if err != nil {
+		return Record{}, false, err
+	}
+	k := sort.Search(len(recs), func(k int) bool { return recs[k].Prefix >= p })
+	if k < len(recs) && recs[k].Prefix == p {
+		return recs[k], true, nil
+	}
+	return Record{}, false, nil
+}
+
+// Find returns the record covering addr's /24, mirroring Dataset.Find.
+func (d *Reader2) Find(addr ipaddr.Addr) (Record, bool, error) {
+	return d.Lookup(ipaddr.Prefix24Of(addr))
+}
+
+// All streams every record in prefix order through fn, stopping at the
+// first error fn (or a damaged block) returns. It bypasses the LRU so a
+// full scan cannot evict a serving workload's hot blocks.
+func (d *Reader2) All(fn func(Record) error) error {
+	for i := range d.blocks {
+		recs, err := d.block(i, false)
+		if err != nil {
+			return err
+		}
+		for _, r := range recs {
+			if err := fn(r); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// blockCache is a small mutex-guarded LRU over decoded blocks, keyed by
+// block index. Capacity bounds the reader's steady-state heap no matter
+// the artifact size.
+type blockCache struct {
+	mu  sync.Mutex
+	cap int
+	m   map[int][]Record
+	use []int // LRU order, most recent last
+}
+
+func newBlockCache(capacity int) *blockCache {
+	return &blockCache{cap: capacity, m: make(map[int][]Record, capacity)}
+}
+
+func (c *blockCache) get(i int) ([]Record, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	recs, ok := c.m[i]
+	if ok {
+		c.touch(i)
+	}
+	return recs, ok
+}
+
+func (c *blockCache) put(i int, recs []Record) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[i]; ok {
+		c.touch(i)
+		return
+	}
+	if len(c.m) >= c.cap && len(c.use) > 0 {
+		oldest := c.use[0]
+		c.use = c.use[1:]
+		delete(c.m, oldest)
+	}
+	c.m[i] = recs
+	c.use = append(c.use, i)
+}
+
+// touch moves i to the most-recent end; callers hold the lock.
+func (c *blockCache) touch(i int) {
+	for k, v := range c.use {
+		if v == i {
+			copy(c.use[k:], c.use[k+1:])
+			c.use[len(c.use)-1] = i
+			return
+		}
+	}
+}
+
+// Materialize decodes the whole artifact into an in-RAM Dataset — for
+// client-side tools (the geobench baseline oracle) that want slice
+// access and don't care about the block reader's memory bound.
+func (d *Reader2) Materialize() (*Dataset, error) {
+	ds := &Dataset{Hdr: d.hdr, Records: make([]Record, 0, d.records)}
+	if err := d.All(func(r Record) error {
+		ds.Records = append(ds.Records, r)
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return ds, nil
+}
+
+// LoadAny loads an artifact of either format fully into memory: a
+// GEODSET1 is decoded as Load does, a GEODSET2 is materialized block by
+// block. Servers wanting the bounded-memory path should use Open2
+// directly; this is for tools.
+func LoadAny(path string) (*Dataset, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		meters.badLoads.Inc()
+		return nil, err
+	}
+	var m [8]byte
+	_, rerr := io.ReadFull(f, m[:])
+	f.Close()
+	if rerr == nil && string(m[:]) == Magic2 {
+		r2, err := Open2(path)
+		if err != nil {
+			return nil, err
+		}
+		defer r2.Close()
+		return r2.Materialize()
+	}
+	return Load(path)
+}

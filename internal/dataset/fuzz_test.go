@@ -3,6 +3,8 @@ package dataset
 import (
 	"bytes"
 	"errors"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"geoloc/internal/geo"
@@ -72,6 +74,96 @@ func FuzzDatasetDecoder(f *testing.F) {
 		// encode(decode(x)) == x byte for byte.
 		if !bytes.Equal(got.Encode(), data) {
 			t.Fatal("accepted input is not in canonical encoded form")
+		}
+	})
+}
+
+// FuzzDataset2Decoder throws arbitrary bytes at the block-indexed
+// reader and checks the same safety contract at both validation layers:
+// NewReader2's eager checks (footer, index, header) and the lazy
+// per-block checks behind All/Lookup. No panics, no unvalidated-length
+// allocations, every failure a named error — torn blocks, bad CRCs and
+// out-of-order keys included. When the file opens, a full scan must
+// yield exactly the advertised record count in strictly ascending
+// order, and every scanned record must be findable by Lookup.
+//
+// Run locally with:
+//
+//	go test -fuzz FuzzDataset2Decoder -fuzztime 30s ./internal/dataset
+func FuzzDataset2Decoder(f *testing.F) {
+	// Seed corpus: a two-block artifact, its truncations, and targeted
+	// mutations of the regions each validation layer guards.
+	dir := f.TempDir()
+	path := filepath.Join(dir, "seed.geodset2")
+	w, err := NewWriter2(path, Header{ConfigHash: 0xABCD, Seed: 7, Profile: "none"}, 2)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for i, pt := range []geo.Point{{Lat: 48.8, Lon: 2.3}, {Lat: -33.9, Lon: 151.2}, {Lat: 1.3, Lon: 103.8}} {
+		if err := w.Add(Record{Prefix: ipaddr.Prefix24(0x0A0000 + i), Centroid: pt,
+			RadiusKm: float64(50 * (i + 1)), Method: MethodCBG, Sanitized: true}); err != nil {
+			f.Fatal(err)
+		}
+	}
+	if _, err := w.Finish(); err != nil {
+		f.Fatal(err)
+	}
+	img, err := os.ReadFile(path)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(img)
+	f.Add(img[:len(Magic2)])
+	f.Add(img[:len(img)-1])
+	f.Add(img[:len(img)-footerLen])
+	f.Add(img[:len(img)/2])
+	f.Add([]byte{})
+	f.Add([]byte(Magic2))
+	f.Add([]byte("GEODSET1junk"))
+	for _, off := range []int{len(Magic2) + 2, len(img) / 2, len(img) - footerLen + 3, len(img) - 4} {
+		mut := append([]byte(nil), img...)
+		mut[off] ^= 0x40
+		f.Add(mut)
+	}
+
+	named := func(err error) bool {
+		return errors.Is(err, ErrBadMagic) || errors.Is(err, ErrBadVersion) ||
+			errors.Is(err, ErrCorrupt) || errors.Is(err, ErrTruncated) ||
+			errors.Is(err, ErrNoHeader)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r2, err := NewReader2(bytes.NewReader(data), int64(len(data)))
+		if err != nil {
+			if !named(err) {
+				t.Fatalf("unnamed open error: %v", err)
+			}
+			return
+		}
+		var recs []Record
+		scanErr := r2.All(func(r Record) error {
+			recs = append(recs, r)
+			return nil
+		})
+		if scanErr != nil {
+			if !named(scanErr) {
+				t.Fatalf("unnamed scan error: %v", scanErr)
+			}
+			return
+		}
+		if len(recs) != r2.NumRecords() {
+			t.Fatalf("scan yielded %d records, footer advertised %d", len(recs), r2.NumRecords())
+		}
+		for i, r := range recs {
+			if i > 0 && recs[i-1].Prefix >= r.Prefix {
+				t.Fatalf("accepted unsorted records at %d", i)
+			}
+			if uint32(r.Prefix) > 0x00FF_FFFF || Method(r.Method) >= numMethods {
+				t.Fatalf("accepted invalid record %+v", r)
+			}
+			got, ok, err := r2.Lookup(r.Prefix)
+			if err != nil || !ok || got != r {
+				t.Fatalf("scanned record %s not found by lookup (ok=%v err=%v)", r.Prefix, ok, err)
+			}
 		}
 	})
 }

@@ -1,0 +1,9 @@
+//go:build race
+
+package dataset
+
+// raceEnabled reports whether the race detector instruments this build.
+// The memory-ceiling regression test skips under it: instrumentation
+// multiplies heap usage in ways that say nothing about the streaming
+// compiler's own footprint.
+const raceEnabled = true

@@ -242,3 +242,15 @@ func GetSampler() *Sampler {
 
 // PutSampler returns a sampler to the package pool.
 func PutSampler(sm *Sampler) { samplerPool.Put(sm) }
+
+// Kept invokes fn for every constraint that survived the reduction of
+// the last Centroid call. The set is exactly Region.Reduced's (the
+// containment-check front-swap scrambles the order, so callers must not
+// depend on it — fine for order-independent folds like a min). Valid
+// until the next Reset.
+func (sm *Sampler) Kept(fn func(Circle)) {
+	for _, ki := range sm.keep {
+		c := &sm.cs[ki]
+		fn(Circle{Center: c.Center, RadiusKm: c.RadiusKm})
+	}
+}

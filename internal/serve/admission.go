@@ -100,7 +100,7 @@ func (s *Server) shed(w http.ResponseWriter, m *reqMeta) {
 // deterministically), 0 before the first Publish.
 func (s *Server) jitterSeed() uint64 {
 	if a := s.Current(); a != nil {
-		return a.DS.Hdr.Seed
+		return a.Hdr.Seed
 	}
 	return 0
 }

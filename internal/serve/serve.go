@@ -160,6 +160,7 @@ type Server struct {
 	hits       *telemetry.Counter
 	misses     *telemetry.Counter
 	badInput   *telemetry.Counter
+	readFails  *telemetry.Counter
 	injectFail *telemetry.Counter
 	injectMs   *telemetry.Counter
 	sheds      *telemetry.Counter
@@ -204,6 +205,7 @@ func New(cfg Config, reg *telemetry.Registry) *Server {
 		hits:       reg.Counter("geoserve.hits"),
 		misses:     reg.Counter("geoserve.misses"),
 		badInput:   reg.Counter("geoserve.bad_input"),
+		readFails:  reg.Counter("geoserve.read_failures"),
 		injectFail: reg.Counter("geoserve.injected_failures"),
 		injectMs:   reg.Counter("geoserve.injected_stall_ms"),
 		sheds:      reg.Counter("geoserve.shed"),
@@ -371,23 +373,28 @@ const (
 // (the caller maps it to 503 or a per-item error) and a deterministic
 // extra stall, which honours the request deadline.
 func (s *Server) resolve(ctx context.Context, art *Artifact, a ipaddr.Addr) (LookupResult, resolveKind) {
-	if ms := s.cfg.Prof.ServeStallMs(art.DS.Hdr.Seed, uint64(a)); ms > 0 {
+	if ms := s.cfg.Prof.ServeStallMs(art.Hdr.Seed, uint64(a)); ms > 0 {
 		s.injectMs.Add(int64(ms))
 		if !s.sleep(ctx, time.Duration(ms*float64(time.Millisecond))) {
 			return LookupResult{IP: a.String(), Error: "request deadline expired"}, resolveDeadline
 		}
 	}
-	if s.cfg.Prof.ServeFailed(art.DS.Hdr.Seed, uint64(a)) {
+	if s.cfg.Prof.ServeFailed(art.Hdr.Seed, uint64(a)) {
 		s.injectFail.Inc()
 		return LookupResult{IP: a.String(), Error: "backend unavailable (injected)"}, resolveInjected
 	}
-	m, ok := art.Idx.Lookup(a)
+	r, ok, err := art.Find(a)
+	if err != nil {
+		// A damaged block in a GEODSET2 artifact: a backend failure, not
+		// a miss — answer 503 like an injected fault so clients retry.
+		s.readFails.Inc()
+		return LookupResult{IP: a.String(), Error: "artifact read failed"}, resolveInjected
+	}
 	if !ok {
 		s.misses.Inc()
 		return LookupResult{IP: a.String(), Error: "no record covers this address"}, resolveMiss
 	}
 	s.hits.Inc()
-	r := art.DS.Records[m.Value]
 	return LookupResult{
 		IP:        a.String(),
 		Prefix:    r.Prefix.String(),
@@ -538,10 +545,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, req *http.Request) {
 	}
 	body := healthzBody{
 		Status:     "ok",
-		Records:    len(art.DS.Records),
-		Profile:    art.DS.Hdr.Profile,
-		Seed:       art.DS.Hdr.Seed,
-		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
+		Records:    art.Records,
+		Profile:    art.Hdr.Profile,
+		Seed:       art.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.Hdr.ConfigHash),
 		Generation: art.Gen,
 	}
 	if s.cfg.Prof != nil {
@@ -598,10 +605,10 @@ func (s *Server) handleVersion(w http.ResponseWriter, req *http.Request) {
 	s.writeJSON(w, http.StatusOK, versionBody{
 		Generation: art.Gen,
 		Source:     art.Source,
-		Records:    len(art.DS.Records),
-		Seed:       art.DS.Hdr.Seed,
-		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
-		Profile:    art.DS.Hdr.Profile,
+		Records:    art.Records,
+		Seed:       art.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.Hdr.ConfigHash),
+		Profile:    art.Hdr.Profile,
 	})
 }
 
@@ -665,8 +672,8 @@ func (s *Server) handleReload(w http.ResponseWriter, req *http.Request) {
 	s.writeJSON(w, http.StatusOK, reloadResponse{
 		Generation: art.Gen,
 		Source:     art.Source,
-		Records:    len(art.DS.Records),
-		Seed:       art.DS.Hdr.Seed,
-		Hash:       fmt.Sprintf("%016x", art.DS.Hdr.ConfigHash),
+		Records:    art.Records,
+		Seed:       art.Hdr.Seed,
+		Hash:       fmt.Sprintf("%016x", art.Hdr.ConfigHash),
 	})
 }

@@ -1,35 +1,53 @@
 // Artifact hot-swap: the mechanism that lets geoserve publish a new
 // GEODSET artifact under live traffic without dropping a request.
 //
-// The serving state is an immutable (dataset, index) pair bundled into an
-// Artifact and published through an atomic pointer. A request captures
-// the pointer once on entry and answers entirely from that snapshot, so a
-// swap mid-request is invisible: in-flight requests finish on the old
-// pair while new requests see the new one. Swaps are serialized by a
-// mutex (last writer wins would otherwise race the generation counter),
-// and a reload that fails to decode leaves the old artifact serving —
-// rollback is the absence of a publish.
+// The serving state is an immutable artifact snapshot published through
+// an atomic pointer. A request captures the pointer once on entry and
+// answers entirely from that snapshot, so a swap mid-request is
+// invisible: in-flight requests finish on the old snapshot while new
+// requests see the new one. Swaps are serialized by a mutex (last writer
+// wins would otherwise race the generation counter), and a reload that
+// fails to decode leaves the old artifact serving — rollback is the
+// absence of a publish.
+//
+// Two artifact formats serve behind the same snapshot type: a decoded
+// in-RAM GEODSET1 (dataset + LPM index) and a block-indexed GEODSET2
+// read via positioned block reads (DESIGN.md §3.9), which is how a
+// full-IPv4-scale artifact serves with O(blocks-touched) resident
+// memory. Reload sniffs the file's magic and picks the right opener.
 package serve
 
 import (
 	"fmt"
+	"io"
+	"os"
 	"sync"
 	"sync/atomic"
 
 	"geoloc/internal/dataset"
+	"geoloc/internal/ipaddr"
 	"geoloc/internal/ipindex"
 	"geoloc/internal/telemetry"
 )
 
-// Artifact is one published serving snapshot: a decoded dataset, the
-// longest-prefix-match index built over it, and swap bookkeeping. All
-// fields are immutable after Publish; concurrent readers share it
-// freely.
+// Artifact is one published serving snapshot plus swap bookkeeping. All
+// fields are immutable after publish; concurrent readers share it
+// freely. Exactly one of DS (with Idx) and R2 is non-nil.
 type Artifact struct {
-	// DS is the decoded dataset (records + provenance header).
+	// DS is the decoded in-RAM dataset (GEODSET1 artifacts and datasets
+	// compiled in-process); nil when serving a block-indexed artifact.
 	DS *dataset.Dataset
-	// Idx is the serving index over DS.
+	// Idx is the serving index over DS; nil when DS is nil.
 	Idx *ipindex.Index
+	// R2 is the block-indexed GEODSET2 reader; nil for in-RAM artifacts.
+	// A swapped-out reader is never closed — in-flight requests may
+	// still hold it — so its descriptor lives until process exit
+	// (bounded by the number of swaps).
+	R2 *dataset.Reader2
+	// Hdr is the artifact's provenance header (both formats).
+	Hdr dataset.Header
+	// Records is the artifact's record count (both formats).
+	Records int
 	// Gen is the swap generation: 1 for the first published artifact,
 	// incremented by every successful swap. Monotonic across the life of
 	// the process; geobench asserts it bumps across a hot-swap.
@@ -39,10 +57,26 @@ type Artifact struct {
 	Source string
 }
 
+// Find answers one address from the snapshot: LPM index + record slice
+// for in-RAM artifacts, a block-index lookup (reading at most one
+// block) for GEODSET2. The error is always nil for in-RAM artifacts; a
+// block-read failure surfaces it so the caller can answer 503 rather
+// than fake a miss.
+func (a *Artifact) Find(addr ipaddr.Addr) (dataset.Record, bool, error) {
+	if a.DS != nil {
+		m, ok := a.Idx.Lookup(addr)
+		if !ok {
+			return dataset.Record{}, false, nil
+		}
+		return a.DS.Records[m.Value], true, nil
+	}
+	return a.R2.Find(addr)
+}
+
 // Swapper owns the atomic artifact pointer. The read side (Current) is a
 // single atomic load; the write side (Publish, Reload) builds the new
-// index side-by-side with the old artifact still serving and publishes
-// with one atomic store.
+// snapshot side-by-side with the old artifact still serving and
+// publishes with one atomic store.
 type Swapper struct {
 	cacheSize int
 
@@ -90,25 +124,75 @@ func (sw *Swapper) Publish(ds *dataset.Dataset, source string) *Artifact {
 	defer sw.mu.Unlock()
 	sw.gen++
 	a := &Artifact{
-		DS:     ds,
-		Idx:    ds.Index(sw.cacheSize),
-		Gen:    sw.gen,
-		Source: source,
+		DS:      ds,
+		Idx:     ds.Index(sw.cacheSize),
+		Hdr:     ds.Hdr,
+		Records: len(ds.Records),
+		Gen:     sw.gen,
+		Source:  source,
 	}
 	sw.cur.Store(a)
 	sw.swaps.Inc()
 	return a
 }
 
-// Reload loads the artifact file at path and publishes it. On any
-// failure — unreadable file, bad magic, corrupt frame, wrong version —
-// the active artifact is untouched (the rollback guarantee) and the
-// swap_failures counter records the attempt.
+// PublishReader atomically makes a block-indexed GEODSET2 reader the
+// active artifact.
+func (sw *Swapper) PublishReader(r2 *dataset.Reader2, source string) *Artifact {
+	sw.mu.Lock()
+	defer sw.mu.Unlock()
+	sw.gen++
+	a := &Artifact{
+		R2:      r2,
+		Hdr:     r2.Header(),
+		Records: r2.NumRecords(),
+		Gen:     sw.gen,
+		Source:  source,
+	}
+	sw.cur.Store(a)
+	sw.swaps.Inc()
+	return a
+}
+
+// Reload opens the artifact file at path — sniffing its magic to pick
+// GEODSET1 (decoded whole) or GEODSET2 (block-indexed) — and publishes
+// it. On any failure — unreadable file, bad magic, corrupt frame, wrong
+// version — the active artifact is untouched (the rollback guarantee)
+// and the swap_failures counter records the attempt.
 func (sw *Swapper) Reload(path string) (*Artifact, error) {
+	magic, err := sniffMagic(path)
+	if err != nil {
+		sw.swapFails.Inc()
+		return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)
+	}
+	if magic == dataset.Magic2 {
+		r2, err := dataset.Open2(path)
+		if err != nil {
+			sw.swapFails.Inc()
+			return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)
+		}
+		return sw.PublishReader(r2, path), nil
+	}
 	ds, err := dataset.Load(path)
 	if err != nil {
 		sw.swapFails.Inc()
 		return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)
 	}
 	return sw.Publish(ds, path), nil
+}
+
+// sniffMagic reads a file's leading magic string. A file too short to
+// hold one returns "" (not an error) so the GEODSET1 loader can report
+// its usual named failure.
+func sniffMagic(path string) (string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", err
+	}
+	defer f.Close()
+	var m [8]byte
+	if _, err := io.ReadFull(f, m[:]); err != nil {
+		return "", nil
+	}
+	return string(m[:]), nil
 }
