@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet staticcheck bench bench-check profile experiments ci resume-check fuzz-smoke load-smoke chaos-smoke scale-smoke
+.PHONY: all build test race vet staticcheck bench bench-check allocs-smoke profile experiments ci resume-check fuzz-smoke load-smoke chaos-smoke scale-smoke
 
 all: build
 
@@ -41,7 +41,18 @@ bench-check:
 	@mkdir -p .bin
 	$(GO) build -o .bin/benchjson ./cmd/benchjson
 	$(GO) test -bench . -benchmem -benchtime 1x -run '^$$' . | \
-		./.bin/benchjson -o /dev/null -compare BENCH.json -max-regress 100 -max-regress-bytes 25
+		./.bin/benchjson -o /dev/null -compare BENCH.json \
+		-max-regress 100 -max-regress-bytes 25 -max-regress-allocs 25
+
+# Hard zero-allocation gate of the serving hot path (DESIGN.md §3.10):
+# a steady-state /lookup — pin, parse, resolve, render, write — and a
+# steady-state mapped GEODSET2 lookup must perform zero heap allocations
+# per request. Run by name: the percentage-based bench-check gate cannot
+# express "still exactly zero", so a new allocation sneaking into the
+# hot path fails THIS target, not a trend threshold.
+allocs-smoke:
+	$(GO) test -count 1 -run 'TestServeAllocs|TestMappedLookupAllocs' \
+		./internal/serve ./internal/dataset
 
 # CPU + heap profiles of the costliest analysis benchmark (Fig 2a drives
 # ~58k CBG locates through the sampling kernels). Inspect with
@@ -154,12 +165,16 @@ chaos-smoke:
 		-expect-503 -metrics-check -strict -out .chaos-smoke/degraded.json
 	rm -rf .chaos-smoke
 
-# Streaming-scale proof (DESIGN.md §3.9): external-merge compile a 50k
-# /24 campaign in bounded windows into a block-indexed GEODSET2, serve
-# it straight from block reads (no whole-artifact decode), and drive a
-# strict geobench pass against it — the bench materializes the same
-# artifact as its client-side oracle, so hit/miss classification also
-# exercises the v2 decode path end to end.
+# Streaming-scale proof (DESIGN.md §3.9–3.10): external-merge compile a
+# 50k /24 campaign in bounded windows into a block-indexed GEODSET2,
+# then serve it both ways — positioned block reads through the sharded
+# LRU, and zero-copy through the memory mapping (-mmap) — driving the
+# SAME seeded strict geobench pass against each. The two runs' status
+# ledgers must be byte-identical: the mapping is a pure access-path
+# change, so any divergence in answers is a bug, not a config delta.
+# The bench materializes the same artifact as its client-side oracle,
+# so hit/miss classification also exercises the v2 decode path end to
+# end.
 scale-smoke:
 	rm -rf .scale-smoke && mkdir -p .scale-smoke
 	$(GO) build -o .scale-smoke/exp ./cmd/experiments
@@ -174,7 +189,19 @@ scale-smoke:
 	./.scale-smoke/geobench -addr http://127.0.0.1:18070 \
 		-dataset .scale-smoke/stream.geodset2 -wait-ready 15s \
 		-requests 3000 -workers 8 \
-		-strict -out .scale-smoke/scale.json
+		-strict -out .scale-smoke/pread.json
+	set -e; \
+	./.scale-smoke/geoserve -dataset .scale-smoke/stream.geodset2 -mmap \
+		-addr 127.0.0.1:18071 -log-level warn & pid=$$!; \
+	trap 'kill $$pid 2>/dev/null; wait $$pid 2>/dev/null' EXIT; \
+	./.scale-smoke/geobench -addr http://127.0.0.1:18071 \
+		-dataset .scale-smoke/stream.geodset2 -wait-ready 15s \
+		-requests 3000 -workers 8 \
+		-strict -out .scale-smoke/mmap.json
+	sed -n '/"statuses"/,/}/p' .scale-smoke/pread.json > .scale-smoke/pread.ledger
+	sed -n '/"statuses"/,/}/p' .scale-smoke/mmap.json > .scale-smoke/mmap.ledger
+	diff .scale-smoke/pread.ledger .scale-smoke/mmap.ledger
+	@echo "scale-smoke: mmap and positioned-read ledgers identical"
 	rm -rf .scale-smoke
 
 # Short coverage-guided fuzz of the binary decoders — the checkpoint

@@ -9,6 +9,8 @@ package geoloc
 
 import (
 	"math"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -166,6 +168,139 @@ func BenchmarkLookupParallel(b *testing.B) {
 	b.ReportMetric(float64(atomic.LoadInt64(&hits)), "hits")
 	b.ReportMetric(float64(atomic.LoadInt64(&misses)), "misses")
 }
+
+// writeBench2 serializes the compiled dataset as a block-indexed
+// GEODSET2 artifact for the on-disk serving benchmarks.
+func writeBench2(b *testing.B, ds *dataset.Dataset) string {
+	b.Helper()
+	path := filepath.Join(b.TempDir(), "bench.geodset2")
+	w, err := dataset.NewWriter2(path, ds.Hdr, dataset.DefaultBlockSize)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, r := range ds.Records {
+		if err := w.Add(r); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if _, err := w.Finish(); err != nil {
+		b.Fatal(err)
+	}
+	return path
+}
+
+// benchLookup2 is the shared body of the GEODSET2 serving benchmarks:
+// compile the medium campaign, write it as a block-indexed artifact,
+// then hammer Find from GOMAXPROCS goroutines with the same
+// covered/miss mix BenchmarkLookupParallel uses. The two entry points
+// differ only in the reader: Open2 answers through the sharded block
+// LRU with positioned reads, OpenMapped answers straight out of the
+// memory mapping — their relative throughput at high GOMAXPROCS is the
+// contention headline of DESIGN.md §3.10.
+func benchLookup2(b *testing.B, open func(string) (*dataset.Reader2, error)) {
+	c := benchSetup(b)
+	ds := dataset.Compile(c, dataset.Options{})
+	r2, err := open(writeBench2(b, ds))
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r2.Close()
+	queries := make([]ipaddr.Addr, 0, 2*len(ds.Records))
+	for i, r := range ds.Records {
+		queries = append(queries, r.Prefix.Addr(byte(i))) // covered
+		queries = append(queries, ipaddr.Addr(0xC0000200+uint32(i)))
+	}
+	var hits, misses int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var h, m int64
+		var i int
+		for pb.Next() {
+			_, ok, err := r2.Find(queries[i%len(queries)])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				h++
+			} else {
+				m++
+			}
+			i++
+		}
+		atomic.AddInt64(&hits, h)
+		atomic.AddInt64(&misses, m)
+	})
+	b.ReportMetric(float64(atomic.LoadInt64(&hits)), "hits")
+	b.ReportMetric(float64(atomic.LoadInt64(&misses)), "misses")
+	b.ReportMetric(boolMetric(r2.Mapped()), "mapped")
+}
+
+// boolMetric renders a capability flag as a 0/1 metric for BENCH.json.
+func boolMetric(v bool) float64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// BenchmarkLookup2Parallel measures concurrent GEODSET2 lookups through
+// the positioned-read path and its 8-way sharded block LRU.
+func BenchmarkLookup2Parallel(b *testing.B) { benchLookup2(b, dataset.Open2) }
+
+// BenchmarkLookup2ParallelMapped measures the same workload zero-copy:
+// every block is a slice of the shared read-only mapping, verified once
+// on first touch, so goroutines share no mutable state at all.
+func BenchmarkLookup2ParallelMapped(b *testing.B) { benchLookup2(b, dataset.OpenMapped) }
+
+// benchFullFind drives uniform-random concurrent Find over an
+// out-of-tree GEODSET2 artifact named by the GEODSET2_PATH environment
+// variable (skipped when unset) — the access pattern a public lookup
+// service sees at full-routable-IPv4 scale: no locality, working set =
+// the whole artifact, so a block LRU far smaller than the block count
+// misses on nearly every request while the mapping answers in place.
+// This is the harness behind results/full-ipv4.txt.
+func benchFullFind(b *testing.B, open func(string) (*dataset.Reader2, error)) {
+	path := os.Getenv("GEODSET2_PATH")
+	if path == "" {
+		b.Skip("GEODSET2_PATH not set: point it at a GEODSET2 artifact")
+	}
+	r2, err := open(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer r2.Close()
+	lo, hi := r2.Range()
+	base := uint64(lo) * 256
+	span := (uint64(hi)-uint64(lo)+1)*256 - 1
+	var hits int64
+	var worker atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		// Per-goroutine splitmix-style stream so workers never collide.
+		x := uint64(worker.Add(1)) * 0x9E3779B97F4A7C15
+		var h int64
+		for pb.Next() {
+			x = x*6364136223846793005 + 1442695040888963407
+			a := ipaddr.Addr(base + (x>>11)%span)
+			_, ok, err := r2.Find(a)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if ok {
+				h++
+			}
+		}
+		atomic.AddInt64(&hits, h)
+	})
+	b.ReportMetric(float64(atomic.LoadInt64(&hits)), "hits")
+	b.ReportMetric(boolMetric(r2.Mapped()), "mapped")
+}
+
+// BenchmarkFullFind is the positioned-read (sharded LRU) path.
+func BenchmarkFullFind(b *testing.B) { benchFullFind(b, dataset.Open2) }
+
+// BenchmarkFullFindMapped is the zero-copy path over the same artifact.
+func BenchmarkFullFindMapped(b *testing.B) { benchFullFind(b, dataset.OpenMapped) }
 
 // BenchmarkPing measures the simulator's measurement primitive.
 func BenchmarkPing(b *testing.B) {

@@ -16,7 +16,12 @@
 // thresholds — the CI bench-regression gate:
 //
 //	go test -bench . -benchmem -benchtime 1x -run '^$' . |
-//	    benchjson -o /dev/null -compare BENCH.json -max-regress 100 -max-regress-bytes 25
+//	    benchjson -o /dev/null -compare BENCH.json -max-regress 100 -max-regress-bytes 25 -max-regress-allocs 25
+//
+// Percentage thresholds cannot gate a zero baseline (any increase over 0
+// is infinite), so metrics whose baseline value is 0 are skipped: the
+// hard zero-allocation guarantee of the serving hot path lives in
+// TestServeAllocs (make allocs-smoke), not here.
 //
 // Empty or unparseable input is an error: a bench run that crashed or
 // produced nothing must fail the pipeline, not write an empty BENCH.json
@@ -81,6 +86,8 @@ func main() {
 		"with -compare: max allowed ns/op increase over the baseline, in percent")
 	maxRegressBytes := flag.Float64("max-regress-bytes", 25,
 		"with -compare: max allowed B/op increase over the baseline, in percent")
+	maxRegressAllocs := flag.Float64("max-regress-allocs", 25,
+		"with -compare: max allowed allocs/op increase over the baseline, in percent")
 	flag.Parse()
 
 	sum, err := parse(bufio.NewScanner(os.Stdin), os.Stdout)
@@ -107,8 +114,9 @@ func main() {
 			log.Fatalf("loading baseline: %v", err)
 		}
 		regs, err := compareSummaries(base, sum, limits{
-			"ns/op": *maxRegress,
-			"B/op":  *maxRegressBytes,
+			"ns/op":     *maxRegress,
+			"B/op":      *maxRegressBytes,
+			"allocs/op": *maxRegressAllocs,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -119,8 +127,8 @@ func main() {
 		if len(regs) > 0 {
 			log.Fatalf("%d benchmark metric(s) regressed beyond the allowed thresholds vs %s", len(regs), *compare)
 		}
-		log.Printf("no regressions vs %s (ns/op within %.0f%%, B/op within %.0f%%)",
-			*compare, *maxRegress, *maxRegressBytes)
+		log.Printf("no regressions vs %s (ns/op within %.0f%%, B/op within %.0f%%, allocs/op within %.0f%%)",
+			*compare, *maxRegress, *maxRegressBytes, *maxRegressAllocs)
 	}
 }
 
@@ -169,7 +177,10 @@ func compareSummaries(base, cur Summary, lim limits) ([]string, error) {
 			ov, okOld := bb.Metrics[unit]
 			nv, okNew := cb.Metrics[unit]
 			if !okOld || !okNew || ov <= 0 {
-				continue // metric not tracked on both sides: nothing to gate
+				// Metric not tracked on both sides, or a zero baseline a
+				// percentage cannot gate (0-alloc paths are gated by
+				// TestServeAllocs instead): nothing to check.
+				continue
 			}
 			pct := (nv - ov) / ov * 100
 			if pct > maxPct {

@@ -255,8 +255,15 @@ func TestCompareSummaries(t *testing.T) {
 		{Name: "Fig2b", N: 1, Metrics: map[string]float64{"ns/op": 2000, "B/op": 200}},
 	}}
 	lim := limits{"ns/op": 50, "B/op": 25}
+	allocBase := Summary{Benchmarks: []Benchmark{
+		{Name: "Lookup2Parallel", N: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 4}},
+		{Name: "Lookup2ParallelMapped", N: 1, Metrics: map[string]float64{"ns/op": 80, "allocs/op": 0}},
+	}}
+	allocLim := limits{"ns/op": 50, "allocs/op": 25}
 	cases := []struct {
 		name        string
+		base        Summary
+		lim         limits
 		cur         Summary
 		wantRegs    int
 		wantErrPart string
@@ -299,10 +306,46 @@ func TestCompareSummaries(t *testing.T) {
 				{Name: "New", N: 1, Metrics: map[string]float64{"ns/op": 5}},
 			}},
 		},
+		{
+			name: "allocs/op within limit passes",
+			base: allocBase,
+			lim:  allocLim,
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Lookup2Parallel", N: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 5}},
+				{Name: "Lookup2ParallelMapped", N: 1, Metrics: map[string]float64{"ns/op": 80, "allocs/op": 0}},
+			}},
+		},
+		{
+			name: "allocs/op regression gates independently of time",
+			base: allocBase,
+			lim:  allocLim,
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Lookup2Parallel", N: 1, Metrics: map[string]float64{"ns/op": 90, "allocs/op": 6}},
+				{Name: "Lookup2ParallelMapped", N: 1, Metrics: map[string]float64{"ns/op": 80, "allocs/op": 0}},
+			}},
+			wantRegs: 1,
+		},
+		{
+			name: "zero-alloc baseline never gates on percentage",
+			base: allocBase,
+			lim:  allocLim,
+			cur: Summary{Benchmarks: []Benchmark{
+				{Name: "Lookup2Parallel", N: 1, Metrics: map[string]float64{"ns/op": 100, "allocs/op": 4}},
+				// allocs appeared where there were none: a percentage
+				// threshold cannot express this, so TestServeAllocs holds
+				// the hard line and the trend gate stays quiet.
+				{Name: "Lookup2ParallelMapped", N: 1, Metrics: map[string]float64{"ns/op": 80, "allocs/op": 3}},
+			}},
+			wantRegs: 0,
+		},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
-			regs, err := compareSummaries(base, tc.cur, lim)
+			b, l := tc.base, tc.lim
+			if b.Benchmarks == nil {
+				b, l = base, lim
+			}
+			regs, err := compareSummaries(b, tc.cur, l)
 			if tc.wantErrPart != "" {
 				if err == nil || !strings.Contains(err.Error(), tc.wantErrPart) {
 					t.Fatalf("err = %v, want containing %q", err, tc.wantErrPart)

@@ -32,6 +32,7 @@ import (
 	"geoloc/internal/dataset"
 	"geoloc/internal/ipaddr"
 	"geoloc/internal/rhash"
+	"geoloc/internal/telemetry"
 )
 
 // Request classes.
@@ -529,8 +530,15 @@ func doSwap(client *http.Client, cfg Config) (uint64, error) {
 }
 
 // tally folds the samples into the ledger, percentiles, and violations.
+// Latency percentiles come from a fixed-bucket histogram over the same
+// bounds the server's own telemetry uses
+// (telemetry.DefaultLatencyBoundsMs), not from sorting every sample: at
+// full-routable-IPv4 request counts a sort is O(n log n) in memory the
+// bench does not need, and sharing the server's bounds means a client
+// percentile and the scraped /metrics histogram are bucketed
+// identically and can be compared directly.
 func tally(cfg Config, rep *Report, samples []sample) {
-	admitted := make([]float64, 0, len(samples))
+	hist := newLatencyHist(telemetry.DefaultLatencyBoundsMs)
 	for _, s := range samples {
 		if s.status == 0 {
 			rep.Dropped++
@@ -561,14 +569,13 @@ func tally(cfg Config, rep *Report, samples []sample) {
 			rep.MissingIDs++
 		}
 		if s.status == http.StatusOK || s.status == http.StatusNotFound {
-			admitted = append(admitted, s.ms)
+			hist.observe(s.ms)
 		}
 	}
-	rep.Admitted = len(admitted)
-	sort.Float64s(admitted)
-	rep.P50Ms = percentile(admitted, 0.50)
-	rep.P99Ms = percentile(admitted, 0.99)
-	rep.P999Ms = percentile(admitted, 0.999)
+	rep.Admitted = hist.n
+	rep.P50Ms = hist.quantile(0.50)
+	rep.P99Ms = hist.quantile(0.99)
+	rep.P999Ms = hist.quantile(0.999)
 
 	if rep.Dropped > 0 {
 		rep.Violations = append(rep.Violations,
@@ -595,8 +602,78 @@ func tally(cfg Config, rep *Report, samples []sample) {
 	}
 }
 
+// latencyHist is a fixed-bucket latency accumulator: bounds[i] is the
+// inclusive upper edge of bucket i, counts has one extra overflow
+// bucket, and the observed min/max pin the interpolation so a quantile
+// can never leave the range of actual samples. O(1) memory regardless
+// of sample count.
+type latencyHist struct {
+	bounds   []float64
+	counts   []int
+	n        int
+	min, max float64
+}
+
+func newLatencyHist(bounds []float64) *latencyHist {
+	return &latencyHist{bounds: bounds, counts: make([]int, len(bounds)+1)}
+}
+
+// observe records one latency in milliseconds.
+func (h *latencyHist) observe(ms float64) {
+	h.counts[sort.SearchFloat64s(h.bounds, ms)]++
+	if h.n == 0 || ms < h.min {
+		h.min = ms
+	}
+	if h.n == 0 || ms > h.max {
+		h.max = ms
+	}
+	h.n++
+}
+
+// quantile returns the q-quantile by linear interpolation inside the
+// bucket holding the target rank, with the bucket edges clamped to the
+// observed [min, max]. The result is monotone in q (later ranks land in
+// the same bucket with a larger fraction, or a later bucket whose lower
+// edge is at least this bucket's upper edge) and 0 when empty.
+func (h *latencyHist) quantile(q float64) float64 {
+	if h.n == 0 {
+		return 0
+	}
+	rank := q * float64(h.n)
+	cum := 0
+	for i, c := range h.counts {
+		if c == 0 {
+			continue
+		}
+		if float64(cum+c) >= rank {
+			lo, hi := h.min, h.max
+			if i > 0 && h.bounds[i-1] > lo {
+				lo = h.bounds[i-1]
+			}
+			if i < len(h.bounds) && h.bounds[i] < hi {
+				hi = h.bounds[i]
+			}
+			if hi < lo {
+				hi = lo
+			}
+			frac := (rank - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		cum += c
+	}
+	return h.max
+}
+
 // percentile returns the q-quantile of sorted (nearest-rank); 0 when
-// empty.
+// empty. The exact-rank oracle: TestHistQuantile checks latencyHist
+// against it, and small deterministic tools that already hold a sorted
+// slice keep using it directly.
 func percentile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
 		return 0

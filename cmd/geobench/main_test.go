@@ -4,6 +4,7 @@ import (
 	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"sort"
 	"strings"
 	"sync"
 	"testing"
@@ -301,6 +302,58 @@ func TestPercentile(t *testing.T) {
 	for _, c := range cases {
 		if got := percentile(s, c.q); got != c.want {
 			t.Errorf("percentile(%v) = %f, want %f", c.q, got, c.want)
+		}
+	}
+}
+
+// TestHistQuantile checks the fixed-bucket latency histogram against
+// the exact nearest-rank oracle: quantiles must stay within the bucket
+// that actually holds the rank, never leave [min, max], and be monotone
+// in q.
+func TestHistQuantile(t *testing.T) {
+	bounds := telemetry.DefaultLatencyBoundsMs
+	if h := newLatencyHist(bounds); h.quantile(0.5) != 0 {
+		t.Errorf("empty histogram quantile = %f, want 0", h.quantile(0.5))
+	}
+
+	h := newLatencyHist(bounds)
+	h.observe(3.25)
+	for _, q := range []float64{0.01, 0.5, 0.999} {
+		if got := h.quantile(q); got != 3.25 {
+			t.Errorf("single-sample quantile(%v) = %f, want 3.25", q, got)
+		}
+	}
+
+	// A deterministic skewed sample set: mostly sub-millisecond with a
+	// heavy tail, the shape a latency distribution actually has.
+	h = newLatencyHist(bounds)
+	var sorted []float64
+	for i := 0; i < 5000; i++ {
+		ms := 0.05 + float64(i%97)*0.01 // bulk: 0.05..1.01
+		if i%100 == 0 {
+			ms = 40 + float64(i%7)*30 // tail: 40..220
+		}
+		h.observe(ms)
+		sorted = append(sorted, ms)
+	}
+	sort.Float64s(sorted)
+
+	prev := -1.0
+	for _, q := range []float64{0.01, 0.1, 0.25, 0.5, 0.9, 0.99, 0.999, 1} {
+		got := h.quantile(q)
+		if got < prev {
+			t.Errorf("quantile not monotone: q=%v gave %f after %f", q, got, prev)
+		}
+		prev = got
+		if got < sorted[0] || got > sorted[len(sorted)-1] {
+			t.Errorf("quantile(%v) = %f outside observed range [%f, %f]",
+				q, got, sorted[0], sorted[len(sorted)-1])
+		}
+		// The histogram answer and the exact answer must fall in the same
+		// bucket: bucketing is the only precision given up.
+		exact := percentile(sorted, q)
+		if bi, be := sort.SearchFloat64s(bounds, got), sort.SearchFloat64s(bounds, exact); bi != be {
+			t.Errorf("quantile(%v) = %f in bucket %d, exact %f in bucket %d", q, got, bi, exact, be)
 		}
 	}
 }

@@ -58,6 +58,7 @@ type options struct {
 	unsanitized bool
 	cacheSize   int
 	maxBatch    int
+	mmap        bool
 
 	maxInflight    int
 	maxQueue       int
@@ -107,6 +108,8 @@ func main() {
 	flag.StringVar(&o.faultName, "faults", "none", "serving fault profile: none, realistic, degraded, hostile")
 	flag.BoolVar(&o.unsanitized, "unsanitized", false, "include removed anchors as unsanitized reported-location records")
 	flag.IntVar(&o.cacheSize, "cache", 0, "ipindex LRU entries per shard (0 = default, negative = disabled)")
+	flag.BoolVar(&o.mmap, "mmap", false,
+		"serve block-indexed GEODSET2 artifacts zero-copy through a memory mapping (falls back to positioned reads where unsupported)")
 	flag.IntVar(&o.maxBatch, "max-batch", serve.DefaultMaxBatch, "maximum IPs accepted in one /batch request")
 
 	flag.IntVar(&o.maxInflight, "max-inflight", serve.DefaultMaxInflight,
@@ -250,6 +253,7 @@ func run(o options) error {
 		Prof:           prof,
 		CacheSize:      o.cacheSize,
 		MaxBatch:       o.maxBatch,
+		Mmap:           o.mmap,
 		MaxInflight:    o.maxInflight,
 		MaxQueue:       o.maxQueue,
 		QueueTimeout:   o.queueTimeout,
@@ -273,7 +277,11 @@ func run(o options) error {
 		if err != nil {
 			return fmt.Errorf("open block-indexed dataset: %w", err)
 		}
-		log.Printf("serving block-indexed artifact: %d records from %s", art.Records, o.dsPath)
+		mode := "positioned reads"
+		if art.R2 != nil && art.R2.Mapped() {
+			mode = "mmap"
+		}
+		log.Printf("serving block-indexed artifact: %d records from %s (%s)", art.Records, o.dsPath, mode)
 	} else {
 		srv.Publish(ds, source)
 	}

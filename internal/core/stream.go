@@ -40,6 +40,13 @@ const maxVPsPerTarget = 64
 // streamed prefixes never collide with anchors or probes.
 var DefaultStreamBase = ipaddr.Prefix24Of(ipaddr.Addr(64 << 24))
 
+// minStreamBase is the lowest /24 the default base may slide down to
+// when the target count does not fit above DefaultStreamBase:
+// 11.0.0.0/24, the first prefix past the world allocator's 10.0.0.0/8.
+// From here 16,056,320 targets fit — more than the ~14.9M routable /24s
+// the replicated paper's full-IPv4 dataset covers.
+var minStreamBase = ipaddr.Prefix24Of(ipaddr.Addr(11 << 24))
+
 // StreamSpec sizes a streaming campaign.
 type StreamSpec struct {
 	// Targets is the number of synthetic /24 targets.
@@ -86,6 +93,15 @@ func NewStreamCampaign(c *Campaign, spec StreamSpec) (*StreamCampaign, error) {
 	}
 	if spec.Base == 0 {
 		spec.Base = DefaultStreamBase
+		// Full-routable-IPv4 counts do not fit above the default base;
+		// slide down toward minStreamBase so the paper-scale campaign
+		// fits. An explicit Base is never adjusted — overflowing it is
+		// a caller error, caught below.
+		if need := uint64(spec.Base) + uint64(spec.Targets) - 1; need > 0x00FF_FFFF {
+			if fit := int64(0x0100_0000) - int64(spec.Targets); fit >= int64(minStreamBase) {
+				spec.Base = ipaddr.Prefix24(fit)
+			}
+		}
 	}
 	if last := uint64(spec.Base) + uint64(spec.Targets) - 1; last > 0x00FF_FFFF {
 		return nil, fmt.Errorf("core: %d targets from base %s overflow the /24 space",

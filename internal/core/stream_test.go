@@ -140,4 +140,21 @@ func TestStreamCampaignSpecValidation(t *testing.T) {
 	if h(StreamSpec{Targets: 10, Base: DefaultStreamBase + 1}) == base {
 		t.Fatal("base prefix not in identity hash")
 	}
+
+	// Full-routable-IPv4 counts slide the DEFAULT base down (never below
+	// minStreamBase, clear of the world allocator's 10.0.0.0/8) so the
+	// paper-scale campaign fits; an explicit base is never adjusted.
+	big, err := NewStreamCampaign(c, StreamSpec{Targets: 16_000_000})
+	if err != nil {
+		t.Fatalf("16M targets rejected: %v", err)
+	}
+	if big.Spec.Base < minStreamBase {
+		t.Fatalf("slid base %s below minStreamBase %s", big.Spec.Base, minStreamBase)
+	}
+	if last := uint64(big.Spec.Base) + uint64(big.Spec.Targets) - 1; last > 0x00FF_FFFF {
+		t.Fatalf("slid base %s still overflows", big.Spec.Base)
+	}
+	if _, err := NewStreamCampaign(c, StreamSpec{Targets: 16_000_000, Base: DefaultStreamBase}); err == nil {
+		t.Fatal("explicit overflowing base accepted")
+	}
 }

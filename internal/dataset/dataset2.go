@@ -18,6 +18,7 @@ package dataset
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc32"
@@ -26,6 +27,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"geoloc/internal/ipaddr"
 )
@@ -236,14 +238,19 @@ func (w *Writer2) NumBlocks() int { return len(w.index) }
 // footprint no matter how large the artifact is.
 const blockCacheSize = 64
 
-// Reader2 serves lookups out of a GEODSET2 artifact via positioned
-// block reads: open cost is the header, index, and footer; lookups read
-// (and LRU-cache) only the block they land in. Safe for concurrent use.
+// Reader2 serves lookups out of a GEODSET2 artifact. Two read paths
+// share the type: the positioned-read path (Open2) reads and LRU-caches
+// the block a lookup lands in, and the zero-copy path (OpenMapped)
+// resolves block reads to slices of a read-only mmap of the file — no
+// block copies, no cache mutex, the page cache does the caching — with
+// each block's CRC and sort invariants verified once on first touch via
+// a per-block atomic bitmap. Both are safe for concurrent use.
 //
-// Reader2 holds its file open for its lifetime; Close releases it.
-// The serving tier deliberately never closes a swapped-out reader —
-// in-flight requests may still hold it — and lets process exit reclaim
-// the descriptor (bounded by the number of swaps).
+// Lifecycle: a reader is born with one owner reference; Close drops it.
+// In-flight requests that must outlive a hot-swap pin the reader
+// (TryPin/Unpin); the mapping and descriptor are released only when the
+// last reference drops, so a swapped-out mapping stays valid until the
+// last pinned request drains — generation-pinned munmap.
 type Reader2 struct {
 	r       io.ReaderAt
 	closer  io.Closer
@@ -251,7 +258,22 @@ type Reader2 struct {
 	blocks  []blockMeta
 	records int
 
-	cache *blockCache
+	cache *blockCache // positioned-read path only; nil when mapped
+
+	// admitLo/admitHi bound which blocks the LRU admits (partition-keyed
+	// warm caches): blocks wholly outside [admitLo, admitHi] read through
+	// without caching. Defaults to the full /24 space.
+	admitLo, admitHi ipaddr.Prefix24
+
+	// data is the whole-file mapping (nil on the positioned-read path);
+	// verified is the per-block CRC-verified-on-first-touch bitmap.
+	data     []byte
+	verified []atomic.Uint32
+
+	// refs counts the owner reference plus every in-flight pin; closed
+	// makes Close idempotent.
+	refs   atomic.Int64
+	closed atomic.Bool
 }
 
 // Open2 opens a GEODSET2 artifact file for block-indexed reads.
@@ -272,6 +294,47 @@ func Open2(path string) (*Reader2, error) {
 		return nil, fmt.Errorf("%s: %w", path, err)
 	}
 	d.closer = f
+	return d, nil
+}
+
+// OpenMapped opens a GEODSET2 artifact through a read-only memory map:
+// footer, index, and header are validated eagerly exactly like Open2,
+// but block reads resolve to slices of the mapping. On platforms (or
+// filesystems) where mmap is unavailable it falls back cleanly to the
+// positioned-read reader — callers can check which path they got with
+// Mapped.
+func OpenMapped(path string) (*Reader2, error) {
+	if !mmapSupported {
+		return Open2(path)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	data, err := mmapFile(f, st.Size())
+	if err != nil {
+		// The file exists but cannot be mapped (exotic filesystem, size
+		// overflow): serve it via positioned reads instead.
+		f.Close()
+		return Open2(path)
+	}
+	// The mapping survives the descriptor; release it now so a mapped
+	// reader holds no fd at all.
+	f.Close()
+	d, err := NewReader2(bytes.NewReader(data), st.Size())
+	if err != nil {
+		munmapFile(data)
+		meters.badLoads.Inc()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	d.data = data
+	d.verified = make([]atomic.Uint32, (len(d.blocks)+31)/32)
+	d.cache = nil // the page cache is the cache
 	return d, nil
 }
 
@@ -308,7 +371,8 @@ func NewReader2(r io.ReaderAt, size int64) (*Reader2, error) {
 		return nil, fmt.Errorf("%w: index offset %d out of range", ErrCorrupt, indexOff)
 	}
 
-	d := &Reader2{r: r, cache: newBlockCache(blockCacheSize)}
+	d := &Reader2{r: r, cache: newBlockCache(blockCacheSize), admitLo: 0, admitHi: ipaddr.Prefix24(0x00FF_FFFF)}
+	d.refs.Store(1)
 
 	// Header frame right after the magic.
 	kind, payload, err := readFrameAt(r, int64(len(Magic2)), size, maxPayload)
@@ -421,23 +485,77 @@ func (d *Reader2) NumRecords() int { return d.records }
 // NumBlocks reports the number of blocks.
 func (d *Reader2) NumBlocks() int { return len(d.blocks) }
 
-// Close releases the underlying file (no-op for byte readers).
+// Range returns the first and last prefixes the block index covers
+// (both zero for an empty artifact).
+func (d *Reader2) Range() (lo, hi ipaddr.Prefix24) {
+	if len(d.blocks) == 0 {
+		return 0, 0
+	}
+	return d.blocks[0].first, d.blocks[len(d.blocks)-1].last
+}
+
+// Mapped reports whether this reader serves from a memory map (the
+// zero-copy path) rather than positioned reads.
+func (d *Reader2) Mapped() bool { return d.data != nil }
+
+// TryPin takes a reference on the reader if it is still alive: the CAS
+// loop increments refs only while they are positive, so a pin can never
+// resurrect a reader whose last reference already dropped. Callers that
+// lose this race must re-fetch the current artifact and retry.
+func (d *Reader2) TryPin() bool {
+	for {
+		n := d.refs.Load()
+		if n <= 0 {
+			return false
+		}
+		if d.refs.CompareAndSwap(n, n+1) {
+			return true
+		}
+	}
+}
+
+// Unpin drops a TryPin reference; the last reference out releases the
+// mapping and descriptor.
+func (d *Reader2) Unpin() { d.release() }
+
+// Close drops the owner reference taken at open. Idempotent. The
+// mapping (and file) is released only when every pinned request has
+// unpinned — a swapped-out mapped reader stays valid until the last
+// in-flight lookup drains.
 func (d *Reader2) Close() error {
-	if d.closer != nil {
-		return d.closer.Close()
+	if d.closed.CompareAndSwap(false, true) {
+		d.release()
 	}
 	return nil
+}
+
+// release drops one reference and tears the reader down at zero.
+func (d *Reader2) release() {
+	if d.refs.Add(-1) != 0 {
+		return
+	}
+	if d.data != nil {
+		munmapFile(d.data)
+		d.data = nil
+		d.r = nil
+	}
+	if d.closer != nil {
+		d.closer.Close()
+		d.closer = nil
+	}
 }
 
 // block fetches the decoded records of block i, validating the frame
 // CRC, the count, and that keys are strictly ascending inside the index
 // entry's [first, last] range. cacheIt controls LRU insertion — full
-// scans skip it so they cannot evict a serving workload's hot blocks.
+// scans skip it so they cannot evict a serving workload's hot blocks,
+// and blocks outside the admitted key range read through uncached.
 func (d *Reader2) block(i int, cacheIt bool) ([]Record, error) {
 	if recs, ok := d.cache.get(i); ok {
 		return recs, nil
 	}
 	b := d.blocks[i]
+	cacheIt = cacheIt && b.last >= d.admitLo && b.first <= d.admitHi
 	kind, payload, err := readFrameAt(d.r, b.off, b.off+frameOverhead+int64(b.plen), int(b.plen))
 	if err != nil {
 		return nil, err
@@ -473,12 +591,16 @@ func (d *Reader2) block(i int, cacheIt bool) ([]Record, error) {
 }
 
 // Lookup returns the record for exactly prefix p, reading at most one
-// block.
+// block. On the mapped path the whole lookup is allocation-free: block
+// and record binary searches run directly over the mapping.
 func (d *Reader2) Lookup(p ipaddr.Prefix24) (Record, bool, error) {
 	// Last block whose first key is <= p.
 	i := sort.Search(len(d.blocks), func(i int) bool { return d.blocks[i].first > p }) - 1
 	if i < 0 || p > d.blocks[i].last {
 		return Record{}, false, nil
+	}
+	if d.data != nil {
+		return d.lookupMapped(i, p)
 	}
 	recs, err := d.block(i, true)
 	if err != nil {
@@ -489,6 +611,145 @@ func (d *Reader2) Lookup(p ipaddr.Prefix24) (Record, bool, error) {
 		return recs[k], true, nil
 	}
 	return Record{}, false, nil
+}
+
+// lookupMapped answers prefix p out of block i directly from the
+// mapping: fixed-size record payloads make the in-block binary search a
+// pointer-arithmetic walk, and only the single matching record is
+// decoded. No copies, no lock, no allocation.
+func (d *Reader2) lookupMapped(i int, p ipaddr.Prefix24) (Record, bool, error) {
+	payload, err := d.mappedPayload(i)
+	if err != nil {
+		return Record{}, false, err
+	}
+	n := int(d.blocks[i].count)
+	lo, hi := 0, n
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		key := ipaddr.Prefix24(binary.LittleEndian.Uint32(payload[2+mid*recordPayloadLen:]))
+		if key < p {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo >= n {
+		return Record{}, false, nil
+	}
+	rp := payload[2+lo*recordPayloadLen : 2+(lo+1)*recordPayloadLen]
+	if ipaddr.Prefix24(binary.LittleEndian.Uint32(rp)) != p {
+		return Record{}, false, nil
+	}
+	r, err := decodeRecord(rp)
+	if err != nil {
+		return Record{}, false, err
+	}
+	return r, true, nil
+}
+
+// ieeeTable backs the allocation-free CRC of the first-touch verifier.
+var ieeeTable = crc32.MakeTable(crc32.IEEE)
+
+// mappedPayload returns block i's frame payload as a slice of the
+// mapping, verifying the frame CRC and every record's decode and sort
+// invariants once per block: the first toucher pays the full check
+// (same strictness as the positioned-read path), every later reader
+// sees the set bit and slices straight in. A corrupt block is therefore
+// detected on first touch even via mmap, with the package's named
+// errors, never a panic.
+func (d *Reader2) mappedPayload(i int) ([]byte, error) {
+	b := d.blocks[i]
+	payload := d.data[b.off+frameOverhead : b.off+frameOverhead+int64(b.plen)]
+	w := &d.verified[i>>5]
+	bit := uint32(1) << (uint(i) & 31)
+	if w.Load()&bit != 0 {
+		return payload, nil
+	}
+	if err := d.verifyMappedBlock(i, payload); err != nil {
+		return nil, err
+	}
+	for {
+		old := w.Load()
+		if old&bit != 0 || w.CompareAndSwap(old, old|bit) {
+			return payload, nil
+		}
+	}
+}
+
+// verifyMappedBlock runs the full block validation the positioned-read
+// path performs in block(), against the mapping.
+func (d *Reader2) verifyMappedBlock(i int, payload []byte) error {
+	b := d.blocks[i]
+	fh := d.data[b.off : b.off+frameOverhead]
+	if fh[0] != kindBlock {
+		return fmt.Errorf("%w: block %d frame has kind %d", ErrCorrupt, i, fh[0])
+	}
+	if int(binary.LittleEndian.Uint32(fh[1:])) != len(payload) {
+		return fmt.Errorf("%w: block %d payload size mismatch", ErrCorrupt, i)
+	}
+	crc := crc32.Update(crc32.Update(0, ieeeTable, fh[:1]), ieeeTable, payload)
+	if crc != binary.LittleEndian.Uint32(fh[5:]) {
+		return fmt.Errorf("%w: CRC mismatch at offset %d", ErrCorrupt, b.off)
+	}
+	count := int(binary.LittleEndian.Uint16(payload))
+	if count != int(b.count) {
+		return fmt.Errorf("%w: block %d holds %d records, index says %d", ErrCorrupt, i, count, b.count)
+	}
+	var prev ipaddr.Prefix24
+	for k := 0; k < count; k++ {
+		r, err := decodeRecord(payload[2+k*recordPayloadLen : 2+(k+1)*recordPayloadLen])
+		if err != nil {
+			return err
+		}
+		if k > 0 && prev >= r.Prefix {
+			return fmt.Errorf("%w: block %d records not strictly sorted at %d", ErrCorrupt, i, k)
+		}
+		prev = r.Prefix
+	}
+	first := ipaddr.Prefix24(binary.LittleEndian.Uint32(payload[2:]))
+	last := ipaddr.Prefix24(binary.LittleEndian.Uint32(payload[2+(count-1)*recordPayloadLen:]))
+	if first != b.first || last != b.last {
+		return fmt.Errorf("%w: block %d key range does not match its index entry", ErrCorrupt, i)
+	}
+	return nil
+}
+
+// SetCacheRange confines the positioned-read LRU to blocks intersecting
+// the [lo, hi] prefix range — the partition-keyed warm cache: a router
+// replica that owns one slice of the space stops caching (and evicting
+// warm entries for) blocks it is only asked about during failover.
+// No-op on the mapped path, where the page cache needs no steering.
+func (d *Reader2) SetCacheRange(lo, hi ipaddr.Prefix24) {
+	d.admitLo, d.admitHi = lo, hi
+}
+
+// WarmBlocks touches every block intersecting the [lo, hi] prefix range:
+// mapped readers CRC-verify and page in each block; positioned-read
+// readers decode them into the LRU until it is full. It returns the
+// number of blocks warmed; the first damaged block stops the warm with
+// the usual named error.
+func (d *Reader2) WarmBlocks(lo, hi ipaddr.Prefix24) (int, error) {
+	if hi < lo {
+		return 0, nil
+	}
+	warmed := 0
+	i := sort.Search(len(d.blocks), func(i int) bool { return d.blocks[i].last >= lo })
+	for ; i < len(d.blocks) && d.blocks[i].first <= hi; i++ {
+		if d.data != nil {
+			if _, err := d.mappedPayload(i); err != nil {
+				return warmed, err
+			}
+		} else {
+			if _, err := d.block(i, true); err != nil {
+				return warmed, err
+			}
+		}
+		warmed++
+		if d.data == nil && warmed >= d.cache.capacity() {
+			break // LRU full: warming further would evict what we just warmed
+		}
+	}
+	return warmed, nil
 }
 
 // Find returns the record covering addr's /24, mirroring Dataset.Find.
@@ -514,10 +775,21 @@ func (d *Reader2) All(fn func(Record) error) error {
 	return nil
 }
 
-// blockCache is a small mutex-guarded LRU over decoded blocks, keyed by
-// block index. Capacity bounds the reader's steady-state heap no matter
-// the artifact size.
+// blockCacheShards is the power-of-two way count of the block LRU.
+// Keying shards by block id spreads concurrent lookups across 8
+// mutexes instead of serializing them on one — the fallback path's
+// answer to the contention the mapped path eliminates outright.
+const blockCacheShards = 8
+
+// blockCache is a sharded mutex-guarded LRU over decoded blocks, keyed
+// by block index (shard = index mod ways). Total capacity bounds the
+// reader's steady-state heap no matter the artifact size. A nil
+// *blockCache (the mapped path) reads as always-miss, never-store.
 type blockCache struct {
+	shards [blockCacheShards]blockCacheShard
+}
+
+type blockCacheShard struct {
 	mu  sync.Mutex
 	cap int
 	m   map[int][]Record
@@ -525,41 +797,85 @@ type blockCache struct {
 }
 
 func newBlockCache(capacity int) *blockCache {
-	return &blockCache{cap: capacity, m: make(map[int][]Record, capacity)}
+	per := capacity / blockCacheShards
+	if per < 1 {
+		per = 1
+	}
+	c := &blockCache{}
+	for s := range c.shards {
+		c.shards[s].cap = per
+		c.shards[s].m = make(map[int][]Record, per)
+	}
+	return c
+}
+
+// capacity returns the total entry bound across all shards.
+func (c *blockCache) capacity() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for s := range c.shards {
+		total += c.shards[s].cap
+	}
+	return total
+}
+
+// len returns the current entry count across all shards.
+func (c *blockCache) len() int {
+	if c == nil {
+		return 0
+	}
+	total := 0
+	for s := range c.shards {
+		sh := &c.shards[s]
+		sh.mu.Lock()
+		total += len(sh.m)
+		sh.mu.Unlock()
+	}
+	return total
 }
 
 func (c *blockCache) get(i int) ([]Record, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	recs, ok := c.m[i]
+	if c == nil {
+		return nil, false
+	}
+	sh := &c.shards[i&(blockCacheShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	recs, ok := sh.m[i]
 	if ok {
-		c.touch(i)
+		sh.touch(i)
 	}
 	return recs, ok
 }
 
 func (c *blockCache) put(i int, recs []Record) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if _, ok := c.m[i]; ok {
-		c.touch(i)
+	if c == nil {
 		return
 	}
-	if len(c.m) >= c.cap && len(c.use) > 0 {
-		oldest := c.use[0]
-		c.use = c.use[1:]
-		delete(c.m, oldest)
+	sh := &c.shards[i&(blockCacheShards-1)]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.m[i]; ok {
+		sh.touch(i)
+		return
 	}
-	c.m[i] = recs
-	c.use = append(c.use, i)
+	if len(sh.m) >= sh.cap && len(sh.use) > 0 {
+		oldest := sh.use[0]
+		sh.use = sh.use[1:]
+		delete(sh.m, oldest)
+	}
+	sh.m[i] = recs
+	sh.use = append(sh.use, i)
 }
 
-// touch moves i to the most-recent end; callers hold the lock.
-func (c *blockCache) touch(i int) {
-	for k, v := range c.use {
+// touch moves i to the most-recent end; callers hold the shard lock.
+func (sh *blockCacheShard) touch(i int) {
+	for k, v := range sh.use {
 		if v == i {
-			copy(c.use[k:], c.use[k+1:])
-			c.use[len(c.use)-1] = i
+			copy(sh.use[k:], sh.use[k+1:])
+			sh.use[len(sh.use)-1] = i
 			return
 		}
 	}

@@ -277,11 +277,8 @@ func TestDataset2CacheBounded(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	r2.cache.mu.Lock()
-	n := len(r2.cache.m)
-	r2.cache.mu.Unlock()
-	if n > blockCacheSize {
-		t.Fatalf("cache holds %d blocks, cap is %d", n, blockCacheSize)
+	if n, cap := r2.cache.len(), r2.cache.capacity(); n > cap {
+		t.Fatalf("cache holds %d blocks, cap is %d", n, cap)
 	}
 }
 

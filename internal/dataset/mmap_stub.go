@@ -1,0 +1,18 @@
+//go:build !unix
+
+package dataset
+
+import (
+	"errors"
+	"os"
+)
+
+// mmapSupported gates OpenMapped's zero-copy path; on platforms without
+// it OpenMapped silently degrades to the positioned-read reader.
+const mmapSupported = false
+
+var errMmapUnsupported = errors.New("dataset: mmap not supported on this platform")
+
+func mmapFile(*os.File, int64) ([]byte, error) { return nil, errMmapUnsupported }
+
+func munmapFile([]byte) error { return nil }

@@ -17,24 +17,52 @@ func FromOctets(a, b, c, d byte) Addr {
 	return Addr(uint32(a)<<24 | uint32(b)<<16 | uint32(c)<<8 | uint32(d))
 }
 
-// Parse parses dotted-quad notation ("192.0.2.7").
+// Parse parses dotted-quad notation ("192.0.2.7"). The accepted
+// grammar is strict — exactly four dot-separated decimal octets, no
+// empty parts, no leading zeros, no signs or spaces — and the success
+// path performs zero heap allocations (the serving hot path calls this
+// per request).
 func Parse(s string) (Addr, error) {
-	parts := strings.Split(s, ".")
-	if len(parts) != 4 {
-		return 0, fmt.Errorf("ipaddr: %q is not dotted quad", s)
-	}
 	var out uint32
-	for _, p := range parts {
-		if p == "" || (len(p) > 1 && p[0] == '0') {
-			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+	rest := s
+	for i := 0; i < 4; i++ {
+		part := rest
+		if i < 3 {
+			dot := strings.IndexByte(rest, '.')
+			if dot < 0 {
+				return 0, fmt.Errorf("ipaddr: %q is not dotted quad", s)
+			}
+			part, rest = rest[:dot], rest[dot+1:]
+		} else if strings.IndexByte(rest, '.') >= 0 {
+			return 0, fmt.Errorf("ipaddr: %q is not dotted quad", s)
 		}
-		v, err := strconv.Atoi(p)
-		if err != nil || v < 0 || v > 255 {
-			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", p, s)
+		v, ok := parseOctet(part)
+		if !ok {
+			return 0, fmt.Errorf("ipaddr: bad octet %q in %q", part, s)
 		}
 		out = out<<8 | uint32(v)
 	}
 	return Addr(out), nil
+}
+
+// parseOctet parses one decimal octet with the package's strict rules:
+// 1–3 digits only, no leading zero (except "0" itself), value <= 255.
+func parseOctet(p string) (uint32, bool) {
+	if p == "" || len(p) > 3 || (len(p) > 1 && p[0] == '0') {
+		return 0, false
+	}
+	var v uint32
+	for i := 0; i < len(p); i++ {
+		c := p[i]
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint32(c-'0')
+	}
+	if v > 255 {
+		return 0, false
+	}
+	return v, true
 }
 
 // MustParse is Parse that panics on error; for tests and literals.
@@ -48,7 +76,20 @@ func MustParse(s string) Addr {
 
 // String renders the address in dotted-quad notation.
 func (a Addr) String() string {
-	return fmt.Sprintf("%d.%d.%d.%d", byte(a>>24), byte(a>>16), byte(a>>8), byte(a))
+	return string(a.AppendText(make([]byte, 0, 15)))
+}
+
+// AppendText appends the dotted-quad rendering to dst and returns the
+// extended slice, allocating only if dst lacks capacity — the
+// zero-allocation renderer the serving hot path encodes with.
+func (a Addr) AppendText(dst []byte) []byte {
+	dst = strconv.AppendUint(dst, uint64(byte(a>>24)), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(byte(a>>16)), 10)
+	dst = append(dst, '.')
+	dst = strconv.AppendUint(dst, uint64(byte(a>>8)), 10)
+	dst = append(dst, '.')
+	return strconv.AppendUint(dst, uint64(byte(a)), 10)
 }
 
 // Octets returns the four octets of the address.
@@ -69,7 +110,13 @@ func (p Prefix24) Addr(host byte) Addr { return Addr(uint32(p)<<8 | uint32(host)
 func (p Prefix24) Contains(a Addr) bool { return Prefix24Of(a) == p }
 
 // String renders the prefix in CIDR notation ("192.0.2.0/24").
-func (p Prefix24) String() string { return p.Addr(0).String() + "/24" }
+func (p Prefix24) String() string { return string(p.AppendText(make([]byte, 0, 18))) }
+
+// AppendText appends the CIDR rendering to dst without allocating
+// (beyond dst growth).
+func (p Prefix24) AppendText(dst []byte) []byte {
+	return append(p.Addr(0).AppendText(dst), "/24"...)
+}
 
 // SamePrefix24 reports whether two addresses share a /24.
 func SamePrefix24(a, b Addr) bool { return Prefix24Of(a) == Prefix24Of(b) }

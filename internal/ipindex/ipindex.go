@@ -129,13 +129,18 @@ type Index struct {
 	entries []Entry
 	shards  [numShards]shard
 	spans   int
+
+	// admitLo/admitHi bound cache admission as inclusive /24 keys
+	// (ip>>8); lookups outside the range skip the LRU entirely. Defaults
+	// to the whole address space; RestrictCache narrows it.
+	admitLo, admitHi uint32
 }
 
 // Build constructs the index. Entries with identical (normalized)
 // prefixes collapse to the first occurrence. cacheSize sets the per-shard
 // LRU capacity: 0 means DefaultCacheSize, negative disables caching.
 func Build(entries []Entry, cacheSize int) *Index {
-	ix := &Index{entries: make([]Entry, 0, len(entries))}
+	ix := &Index{entries: make([]Entry, 0, len(entries)), admitHi: 0x00FF_FFFF}
 	seen := make(map[Prefix]bool, len(entries))
 	longIn := [numShards]bool{} // shards holding prefixes longer than /24
 	for _, e := range entries {
@@ -285,8 +290,9 @@ func (ix *Index) Lookup(a ipaddr.Addr) (Match, bool) {
 	sh := &ix.shards[ip>>24]
 	iv := int32(-1)
 	cached := false
-	if sh.cache != nil {
-		key := ip >> 8
+	key := ip >> 8
+	useCache := sh.cache != nil && key >= ix.admitLo && key <= ix.admitHi
+	if useCache {
 		sh.mu.Lock()
 		iv, cached = sh.cache.get(key)
 		sh.mu.Unlock()
@@ -298,9 +304,9 @@ func (ix *Index) Lookup(a ipaddr.Addr) (Match, bool) {
 	}
 	if !cached {
 		iv = sh.find(ip)
-		if sh.cache != nil {
+		if useCache {
 			sh.mu.Lock()
-			sh.cache.put(ip>>8, iv)
+			sh.cache.put(key, iv)
 			sh.mu.Unlock()
 		}
 	}
@@ -310,6 +316,49 @@ func (ix *Index) Lookup(a ipaddr.Addr) (Match, bool) {
 	}
 	e := ix.entries[sh.owner[iv]]
 	return Match{Prefix: e.Prefix, Value: e.Value}, true
+}
+
+// RestrictCache narrows cache admission to the inclusive address range
+// [lo, hi]: lookups outside it still answer from the interval search but
+// never displace cached in-range entries. In a partitioned deployment
+// each replica restricts to its partition, so stray out-of-range traffic
+// (a routing transient) cannot flush the caches its own partition's
+// traffic depends on. Call before the index starts serving — the bounds
+// are read unsynchronized on the lookup path.
+func (ix *Index) RestrictCache(lo, hi ipaddr.Addr) {
+	ix.admitLo, ix.admitHi = uint32(lo)>>8, uint32(hi)>>8
+}
+
+// Prewarm seeds every shard's LRU with the /24 keys its intervals cover
+// inside the admitted range, up to cache capacity, so a freshly
+// published index answers its partition's first requests from warm
+// caches instead of paying a cold search-and-fill per /24. Returns the
+// number of keys seeded. Cached-shard intervals are /24-aligned (caches
+// are disabled where longer prefixes exist), so each seeded key maps to
+// exactly one interval.
+func (ix *Index) Prewarm() int {
+	total := 0
+	for s := range ix.shards {
+		sh := &ix.shards[s]
+		if sh.cache == nil {
+			continue
+		}
+		sh.mu.Lock()
+		seeded := 0
+		for i := 0; i < len(sh.starts) && seeded < sh.cache.cap; i++ {
+			loKey := max32(sh.starts[i]>>8, ix.admitLo)
+			hiKey := min32(sh.ends[i]>>8, ix.admitHi)
+			for key := loKey; key <= hiKey && seeded < sh.cache.cap; key++ {
+				if _, ok := sh.cache.get(key); !ok {
+					sh.cache.put(key, int32(i))
+					seeded++
+				}
+			}
+		}
+		sh.mu.Unlock()
+		total += seeded
+	}
+	return total
 }
 
 // LookupUncached bypasses the LRU (tests use it to cross-check cache

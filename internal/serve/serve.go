@@ -56,8 +56,13 @@ const (
 	DefaultRetryAfter     = 1 * time.Second
 )
 
-// latencyBoundsMs buckets the per-request latency histogram.
-var latencyBoundsMs = []float64{0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100, 250, 1000}
+// WarmRange is an inclusive address range a partitioned deployment
+// expects this server to answer for. It steers cache admission, not
+// correctness: lookups outside the range still answer, they just never
+// displace in-range cache entries (DESIGN.md §3.10).
+type WarmRange struct {
+	Lo, Hi ipaddr.Addr
+}
 
 // Config tunes a Server. The zero value gets sane production defaults;
 // set a field negative where documented to disable that limit.
@@ -69,6 +74,15 @@ type Config struct {
 	CacheSize int
 	// MaxBatch caps /batch (0 = DefaultMaxBatch).
 	MaxBatch int
+
+	// Mmap serves GEODSET2 artifacts zero-copy through dataset.OpenMapped
+	// where the platform supports it; positioned block reads otherwise.
+	Mmap bool
+	// Warm, when set, keys every published artifact's caches to one
+	// address range: blocks and /24s outside it are never admitted, and
+	// in-range blocks are pre-warmed at swap time so a fresh artifact
+	// starts hot (nil = admit everything, warm nothing).
+	Warm *WarmRange
 
 	// MaxInflight bounds concurrently executing data-plane requests
 	// (0 = DefaultMaxInflight, negative = unlimited: admission off).
@@ -196,7 +210,7 @@ func New(cfg Config, reg *telemetry.Registry) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
 		cfg:     cfg,
-		swapper: NewSwapper(reg, cfg.CacheSize),
+		swapper: NewSwapper(reg, cfg.CacheSize, cfg.Mmap, cfg.Warm),
 		sleep:   ctxSleep,
 
 		reqLookup:  reg.Counter("geoserve.requests_lookup"),
@@ -211,7 +225,7 @@ func New(cfg Config, reg *telemetry.Registry) *Server {
 		sheds:      reg.Counter("geoserve.shed"),
 		expired:    reg.Counter("geoserve.deadline_expired"),
 		writeErrs:  reg.Counter("geoserve.write_errors"),
-		latencyMs:  reg.Histogram("geoserve.latency_ms", latencyBoundsMs),
+		latencyMs:  reg.Histogram("geoserve.latency_ms", telemetry.DefaultLatencyBoundsMs),
 
 		statusCtrs: make(map[statusKey]*telemetry.Counter),
 		statusReg:  reg,
@@ -365,62 +379,106 @@ const (
 	resolveOK resolveKind = iota
 	resolveMiss
 	resolveInjected
+	resolveReadFail
 	resolveDeadline
 )
 
-// resolve answers one parsed address against one artifact snapshot,
+// message is the client-visible error text for a non-OK outcome.
+func (k resolveKind) message() string {
+	switch k {
+	case resolveMiss:
+		return "no record covers this address"
+	case resolveInjected:
+		return "backend unavailable (injected)"
+	case resolveReadFail:
+		return "artifact read failed"
+	case resolveDeadline:
+		return "request deadline expired"
+	}
+	return ""
+}
+
+// status is the HTTP status for a resolve outcome. A read failure — a
+// damaged block in a GEODSET2 artifact — answers 503 like an injected
+// fault so clients retry, not 404.
+func (k resolveKind) status() int {
+	switch k {
+	case resolveMiss:
+		return http.StatusNotFound
+	case resolveInjected, resolveReadFail:
+		return http.StatusServiceUnavailable
+	case resolveDeadline:
+		return http.StatusGatewayTimeout
+	}
+	return http.StatusOK
+}
+
+// resolveRec answers one parsed address against one artifact snapshot,
 // injecting the profile's serving faults: a deterministic per-IP failure
 // (the caller maps it to 503 or a per-item error) and a deterministic
-// extra stall, which honours the request deadline.
-func (s *Server) resolve(ctx context.Context, art *Artifact, a ipaddr.Addr) (LookupResult, resolveKind) {
+// extra stall, which honours the request deadline. It returns the bare
+// record — rendering is the caller's problem — so the steady-state path
+// stays allocation-free.
+func (s *Server) resolveRec(ctx context.Context, art *Artifact, a ipaddr.Addr) (dataset.Record, resolveKind) {
 	if ms := s.cfg.Prof.ServeStallMs(art.Hdr.Seed, uint64(a)); ms > 0 {
 		s.injectMs.Add(int64(ms))
 		if !s.sleep(ctx, time.Duration(ms*float64(time.Millisecond))) {
-			return LookupResult{IP: a.String(), Error: "request deadline expired"}, resolveDeadline
+			return dataset.Record{}, resolveDeadline
 		}
 	}
 	if s.cfg.Prof.ServeFailed(art.Hdr.Seed, uint64(a)) {
 		s.injectFail.Inc()
-		return LookupResult{IP: a.String(), Error: "backend unavailable (injected)"}, resolveInjected
+		return dataset.Record{}, resolveInjected
 	}
 	r, ok, err := art.Find(a)
 	if err != nil {
-		// A damaged block in a GEODSET2 artifact: a backend failure, not
-		// a miss — answer 503 like an injected fault so clients retry.
 		s.readFails.Inc()
-		return LookupResult{IP: a.String(), Error: "artifact read failed"}, resolveInjected
+		return dataset.Record{}, resolveReadFail
 	}
 	if !ok {
 		s.misses.Inc()
-		return LookupResult{IP: a.String(), Error: "no record covers this address"}, resolveMiss
+		return dataset.Record{}, resolveMiss
 	}
 	s.hits.Inc()
-	return LookupResult{
-		IP:        a.String(),
-		Prefix:    r.Prefix.String(),
-		Lat:       r.Centroid.Lat,
-		Lon:       r.Centroid.Lon,
-		RadiusKm:  r.RadiusKm,
-		Method:    r.Method.String(),
-		Sanitized: r.Sanitized,
-	}, resolveOK
+	return r, resolveOK
 }
 
-// handleLookup serves GET /lookup?ip=A.B.C.D.
+// observeSince records one request's latency sample.
+func (s *Server) observeSince(start time.Time) {
+	s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond))
+}
+
+// acquire captures the current artifact and pins its reader against a
+// concurrent swap's close. The retry loop covers the one racy window:
+// Current loaded an artifact that a swap retired (and closed) before the
+// pin landed — the next load sees the new generation.
+func (s *Server) acquire() *Artifact {
+	for {
+		a := s.swapper.Current()
+		if a == nil || a.pin() {
+			return a
+		}
+	}
+}
+
+// handleLookup serves GET /lookup?ip=A.B.C.D. The steady-state path —
+// pin artifact, parse, resolve, render from a pooled buffer — performs
+// zero heap allocations per request (gated by TestServeAllocs).
 func (s *Server) handleLookup(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
-	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	defer s.observeSince(start)
 	s.reqLookup.Inc()
 	if req.Method != http.MethodGet {
 		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use GET"})
 		return
 	}
-	art := s.Current()
+	art := s.acquire()
 	if art == nil {
 		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
 		return
 	}
-	raw := req.URL.Query().Get("ip")
+	defer art.release()
+	raw := queryIP(req.URL.RawQuery)
 	if raw == "" {
 		s.badInput.Inc()
 		s.writeJSON(w, http.StatusBadRequest, errorBody{"missing ip parameter"})
@@ -434,20 +492,15 @@ func (s *Server) handleLookup(w http.ResponseWriter, req *http.Request) {
 	}
 	m := metaFrom(req.Context())
 	sp := s.stageSpan(m, "index-lookup")
-	res, kind := s.resolve(req.Context(), art, a)
+	rec, kind := s.resolveRec(req.Context(), art, a)
 	sp.End()
 	enc := s.stageSpan(m, "encode")
 	defer enc.End()
-	switch kind {
-	case resolveDeadline:
-		s.writeJSON(w, http.StatusGatewayTimeout, res)
-	case resolveInjected:
-		s.writeJSON(w, http.StatusServiceUnavailable, res)
-	case resolveMiss:
-		s.writeJSON(w, http.StatusNotFound, res)
-	default:
-		s.writeJSON(w, http.StatusOK, res)
-	}
+	buf := getBuf()
+	buf.b = appendLookupResult(buf.b[:0], a, rec, kind)
+	buf.b = append(buf.b, '\n')
+	s.writeBytes(w, kind.status(), buf.b)
+	putBuf(buf)
 }
 
 // batchRequest is the /batch input document.
@@ -467,17 +520,18 @@ type batchResponse struct {
 // cannot mix generations within one response.
 func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	start := time.Now()
-	defer func() { s.latencyMs.Observe(float64(time.Since(start)) / float64(time.Millisecond)) }()
+	defer s.observeSince(start)
 	s.reqBatch.Inc()
 	if req.Method != http.MethodPost {
 		s.writeJSON(w, http.StatusMethodNotAllowed, errorBody{"use POST"})
 		return
 	}
-	art := s.Current()
+	art := s.acquire()
 	if art == nil {
 		s.writeJSON(w, http.StatusServiceUnavailable, errorBody{"no dataset published yet"})
 		return
 	}
+	defer art.release()
 	var in batchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, req.Body, 1<<22))
 	if err := dec.Decode(&in); err != nil {
@@ -498,28 +552,36 @@ func (s *Server) handleBatch(w http.ResponseWriter, req *http.Request) {
 	}
 	m := metaFrom(req.Context())
 	sp := s.stageSpan(m, "index-lookup")
-	out := batchResponse{Results: make([]LookupResult, 0, len(in.IPs))}
-	for _, raw := range in.IPs {
+	buf := getBuf()
+	b := append(buf.b[:0], `{"results":[`...)
+	for i, raw := range in.IPs {
+		if i > 0 {
+			b = append(b, ',')
+		}
 		a, err := ipaddr.Parse(raw)
 		if err != nil {
 			s.badInput.Inc()
-			out.Results = append(out.Results, LookupResult{IP: raw, Error: err.Error()})
+			b = appendErrorResult(b, raw, err.Error())
 			continue
 		}
-		res, kind := s.resolve(req.Context(), art, a)
+		rec, kind := s.resolveRec(req.Context(), art, a)
 		if kind == resolveDeadline {
 			sp.End()
+			putBuf(buf)
 			// The budget for the whole batch is gone; the deadline
 			// wrapper already owns the client-visible 504.
 			s.writeJSON(w, http.StatusGatewayTimeout, errorBody{"request deadline expired mid-batch"})
 			return
 		}
-		out.Results = append(out.Results, res)
+		b = appendLookupResult(b, a, rec, kind)
 	}
+	b = append(b, "]}\n"...)
+	buf.b = b
 	sp.End()
 	enc := s.stageSpan(m, "encode")
 	defer enc.End()
-	s.writeJSON(w, http.StatusOK, out)
+	s.writeBytes(w, http.StatusOK, buf.b)
+	putBuf(buf)
 }
 
 // healthzBody is the /healthz response (liveness + artifact summary).

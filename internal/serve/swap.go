@@ -12,9 +12,17 @@
 //
 // Two artifact formats serve behind the same snapshot type: a decoded
 // in-RAM GEODSET1 (dataset + LPM index) and a block-indexed GEODSET2
-// read via positioned block reads (DESIGN.md §3.9), which is how a
-// full-IPv4-scale artifact serves with O(blocks-touched) resident
-// memory. Reload sniffs the file's magic and picks the right opener.
+// read either via positioned block reads or zero-copy through a memory
+// mapping (DESIGN.md §3.9, §3.10), which is how a full-IPv4-scale
+// artifact serves with O(blocks-touched) resident memory. Reload sniffs
+// the file's magic and picks the right opener.
+//
+// GEODSET2 readers own kernel resources (a descriptor or a mapping), so
+// a swapped-out reader is reference-counted: each in-flight request pins
+// the snapshot it captured (Artifact.pin/release), the swap drops the
+// owner reference, and the last pin out actually closes. A swap under
+// zero load closes the old reader immediately; under load it closes the
+// moment the final straggler finishes.
 package serve
 
 import (
@@ -40,9 +48,8 @@ type Artifact struct {
 	// Idx is the serving index over DS; nil when DS is nil.
 	Idx *ipindex.Index
 	// R2 is the block-indexed GEODSET2 reader; nil for in-RAM artifacts.
-	// A swapped-out reader is never closed — in-flight requests may
-	// still hold it — so its descriptor lives until process exit
-	// (bounded by the number of swaps).
+	// Swapping it out closes it via the reader's reference count once
+	// the last pinned request finishes (see pin/release).
 	R2 *dataset.Reader2
 	// Hdr is the artifact's provenance header (both formats).
 	Hdr dataset.Header
@@ -73,12 +80,33 @@ func (a *Artifact) Find(addr ipaddr.Addr) (dataset.Record, bool, error) {
 	return a.R2.Find(addr)
 }
 
+// pin takes a reference on the snapshot's reader so a concurrent swap
+// cannot close it mid-request. In-RAM artifacts are garbage-collected
+// like any other value and pin trivially. Reports false when the reader
+// already closed (the caller re-reads Current and retries).
+func (a *Artifact) pin() bool {
+	if a.R2 == nil {
+		return true
+	}
+	return a.R2.TryPin()
+}
+
+// release drops the reference pin took; the last release after a swap
+// closes the retired reader.
+func (a *Artifact) release() {
+	if a.R2 != nil {
+		a.R2.Unpin()
+	}
+}
+
 // Swapper owns the atomic artifact pointer. The read side (Current) is a
 // single atomic load; the write side (Publish, Reload) builds the new
 // snapshot side-by-side with the old artifact still serving and
 // publishes with one atomic store.
 type Swapper struct {
 	cacheSize int
+	mmap      bool
+	warm      *WarmRange
 
 	swaps     *telemetry.Counter
 	swapFails *telemetry.Counter
@@ -89,10 +117,14 @@ type Swapper struct {
 }
 
 // NewSwapper returns an empty swapper (Current is nil until the first
-// Publish). cacheSize tunes the ipindex LRU of every index it builds.
-func NewSwapper(reg *telemetry.Registry, cacheSize int) *Swapper {
+// Publish). cacheSize tunes the ipindex LRU of every index it builds;
+// mmap selects the zero-copy GEODSET2 opener on Reload; warm keys cache
+// admission and swap-time pre-warming to one address range (nil = off).
+func NewSwapper(reg *telemetry.Registry, cacheSize int, mmap bool, warm *WarmRange) *Swapper {
 	return &Swapper{
 		cacheSize: cacheSize,
+		mmap:      mmap,
+		warm:      warm,
 		swaps:     reg.Counter("geoserve.swaps"),
 		swapFails: reg.Counter("geoserve.swap_failures"),
 	}
@@ -131,16 +163,41 @@ func (sw *Swapper) Publish(ds *dataset.Dataset, source string) *Artifact {
 		Gen:     sw.gen,
 		Source:  source,
 	}
-	sw.cur.Store(a)
-	sw.swaps.Inc()
+	if sw.warm != nil {
+		a.Idx.RestrictCache(sw.warm.Lo, sw.warm.Hi)
+		a.Idx.Prewarm()
+	}
+	sw.store(a)
 	return a
 }
 
+// store publishes the snapshot and retires the one it replaces: the
+// swap drops the old reader's owner reference, so it closes as soon as
+// the last pinned in-flight request releases it.
+func (sw *Swapper) store(a *Artifact) {
+	old := sw.cur.Swap(a)
+	sw.swaps.Inc()
+	if old != nil && old.R2 != nil && old.R2 != a.R2 {
+		old.R2.Close()
+	}
+}
+
 // PublishReader atomically makes a block-indexed GEODSET2 reader the
-// active artifact.
+// active artifact. With a warm range configured, the reader's block
+// cache is keyed to the range and the in-range blocks are touched —
+// verified and paged in (mmap) or decoded into the LRU (pread) — before
+// the swap, so the new generation starts answering its partition hot.
 func (sw *Swapper) PublishReader(r2 *dataset.Reader2, source string) *Artifact {
 	sw.mu.Lock()
 	defer sw.mu.Unlock()
+	if sw.warm != nil {
+		lo := ipaddr.Prefix24Of(sw.warm.Lo)
+		hi := ipaddr.Prefix24Of(sw.warm.Hi)
+		r2.SetCacheRange(lo, hi)
+		// Pre-warm is best-effort: a damaged block fails here exactly as
+		// it would at serve time, and serve time is where it's reported.
+		_, _ = r2.WarmBlocks(lo, hi)
+	}
 	sw.gen++
 	a := &Artifact{
 		R2:      r2,
@@ -149,8 +206,7 @@ func (sw *Swapper) PublishReader(r2 *dataset.Reader2, source string) *Artifact {
 		Gen:     sw.gen,
 		Source:  source,
 	}
-	sw.cur.Store(a)
-	sw.swaps.Inc()
+	sw.store(a)
 	return a
 }
 
@@ -166,7 +222,13 @@ func (sw *Swapper) Reload(path string) (*Artifact, error) {
 		return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)
 	}
 	if magic == dataset.Magic2 {
-		r2, err := dataset.Open2(path)
+		open := dataset.Open2
+		if sw.mmap {
+			// OpenMapped itself degrades to Open2 on platforms without
+			// mmap support, so the flag is safe everywhere.
+			open = dataset.OpenMapped
+		}
+		r2, err := open(path)
 		if err != nil {
 			sw.swapFails.Inc()
 			return nil, fmt.Errorf("reload rejected, still serving generation %d: %w", sw.Generation(), err)

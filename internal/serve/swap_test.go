@@ -40,7 +40,7 @@ func tinyVariantDataset() *dataset.Dataset {
 // (rollback by non-publish) and counts a swap failure.
 func TestSwapGenerationAndRollback(t *testing.T) {
 	reg := telemetry.New()
-	sw := NewSwapper(reg, 0)
+	sw := NewSwapper(reg, 0, false, nil)
 	if sw.Current() != nil || sw.Generation() != 0 {
 		t.Fatal("fresh swapper should have no artifact, generation 0")
 	}
@@ -291,5 +291,81 @@ func TestConcurrentTrafficDuringSwaps(t *testing.T) {
 	}
 	if gen := srv.Current().Gen; gen != expectSwapGen {
 		t.Errorf("final generation = %d, want %d", gen, expectSwapGen)
+	}
+}
+
+// writeV2File serializes a dataset through Writer2 into dir.
+func writeV2File(t *testing.T, ds *dataset.Dataset, dir, name string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	w, err := dataset.NewWriter2(path, ds.Hdr, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range ds.Records {
+		if err := w.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := w.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestMmapHotSwapUnderLoad hammers /lookup while mapped GEODSET2
+// artifacts hot-swap underneath: every swap closes the retired mapping
+// as soon as its last pinned request drains (generation-pinned munmap),
+// so under -race this proves in-flight lookups never touch a mapping
+// after it is released and never see a mixed generation. Answers must
+// stay 200/404 throughout — a 5xx means a request caught a dead reader.
+func TestMmapHotSwapUnderLoad(t *testing.T) {
+	dir := t.TempDir()
+	pathA := writeV2File(t, tinyDataset(), dir, "a.geodset2")
+	pathB := writeV2File(t, tinyVariantDataset(), dir, "b.geodset2")
+
+	srv := New(Config{Mmap: true}, telemetry.New())
+	if _, err := srv.Reload(pathA); err != nil {
+		t.Fatal(err)
+	}
+	if r2 := srv.Current().R2; r2 == nil || !r2.Mapped() {
+		t.Skip("mmap unavailable; nothing to race")
+	}
+
+	hit := tinyDataset().Records[0].Prefix.Addr(3).String()
+	targets := []string{"/lookup?ip=" + hit, "/lookup?ip=203.0.113.9"}
+
+	var stop atomic.Bool
+	var failures atomic.Int64
+	var wg sync.WaitGroup
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for !stop.Load() {
+				req := httptest.NewRequest(http.MethodGet, targets[g%len(targets)], nil)
+				rec := httptest.NewRecorder()
+				srv.handleLookup(rec, req)
+				if c := rec.Code; c != http.StatusOK && c != http.StatusNotFound {
+					failures.Add(1)
+					return
+				}
+			}
+		}(g)
+	}
+	for i := 0; i < 60; i++ {
+		path := pathA
+		if i%2 == 1 {
+			path = pathB
+		}
+		if _, err := srv.Reload(path); err != nil {
+			t.Errorf("swap %d: %v", i, err)
+			break
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed during mapped hot-swaps", n)
 	}
 }
